@@ -1,0 +1,37 @@
+//! Throughput of the dual counting Bloom filter (insert + blacklist test),
+//! the data structure at the heart of RowBlocker-BL.
+
+use blockhammer::DualCountingBloomFilter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_counting_bloom_filter");
+    for &size in &[1_024usize, 8_192] {
+        group.bench_with_input(BenchmarkId::new("insert", size), &size, |b, &size| {
+            let mut filter = DualCountingBloomFilter::new(size, 4, 8_192, u64::MAX / 2, 1);
+            let mut row = 0u64;
+            let mut cycle = 0u64;
+            b.iter(|| {
+                row = row.wrapping_add(0x9E37) % 65_536;
+                cycle += 148;
+                filter.insert(cycle, black_box(row));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("is_blacklisted", size), &size, |b, &size| {
+            let mut filter = DualCountingBloomFilter::new(size, 4, 8_192, u64::MAX / 2, 1);
+            for i in 0..10_000u64 {
+                filter.insert(i * 148, i % 64);
+            }
+            let mut row = 0u64;
+            b.iter(|| {
+                row = (row + 1) % 65_536;
+                black_box(filter.is_blacklisted(black_box(row)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cbf);
+criterion_main!(benches);

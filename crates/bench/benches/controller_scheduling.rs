@@ -1,0 +1,57 @@
+//! Throughput of the memory-controller substrate: how fast the FR-FCFS
+//! scheduler + DDR4 timing model simulate, with and without a defense in
+//! the loop (the simulator-cost ablation for this reproduction).
+
+use bh_types::{AccessType, ThreadId};
+use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memctrl::{MemCtrlConfig, MemoryController};
+use mitigations::{DefenseGeometry, NoMitigation, RowHammerDefense, RowHammerThreshold};
+use std::hint::black_box;
+
+fn run_controller(defense: &mut dyn RowHammerDefense, requests: u64) -> u64 {
+    let mut ctrl = MemoryController::new(MemCtrlConfig::default());
+    let mut issued = 0u64;
+    let mut cycle = 0u64;
+    let mut completed = 0u64;
+    while completed < requests {
+        if issued < requests {
+            let addr = (issued * 4096) % (1 << 30);
+            if ctrl
+                .enqueue(ThreadId::new((issued % 8) as usize), addr, AccessType::Read, cycle, defense)
+                .is_ok()
+            {
+                issued += 1;
+            }
+        }
+        completed += ctrl.tick(cycle, defense).len() as u64;
+        cycle += 1;
+    }
+    cycle
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_controller");
+    group.sample_size(10);
+    group.bench_function("fr_fcfs_no_defense_2k_reads", |b| {
+        b.iter(|| {
+            let mut defense = NoMitigation::new();
+            black_box(run_controller(&mut defense, 2_000))
+        });
+    });
+    group.bench_function("fr_fcfs_blockhammer_2k_reads", |b| {
+        b.iter(|| {
+            let geometry = DefenseGeometry::default();
+            let config = BlockHammerConfig::for_rowhammer_threshold(
+                RowHammerThreshold::new(32_768),
+                &geometry,
+            );
+            let mut defense = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
+            black_box(run_controller(&mut defense, 2_000))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

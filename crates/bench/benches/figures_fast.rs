@@ -1,0 +1,46 @@
+//! End-to-end simulation throughput: one quick single-core run and one
+//! quick attack run, to track the cost of regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::{DefenseKind, SystemBuilder};
+use std::hint::black_box;
+use workloads::SyntheticSpec;
+
+fn single_core_run() -> f64 {
+    SystemBuilder::new()
+        .time_scale(8192)
+        .defense(DefenseKind::BlockHammer)
+        .llc_capacity(1 << 20)
+        .add_workload(SyntheticSpec::high_intensity("bench.h", 0), 3_000)
+        .run()
+        .threads[0]
+        .ipc
+}
+
+fn attack_run() -> f64 {
+    SystemBuilder::new()
+        .time_scale(8192)
+        .defense(DefenseKind::BlockHammer)
+        .llc_capacity(1 << 20)
+        .min_cycles(50_000)
+        .add_attacker()
+        .add_workload(SyntheticSpec::high_intensity("bench.victim", 0), 3_000)
+        .run()
+        .threads[1]
+        .ipc
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_simulation");
+    group.sample_size(10);
+    group.bench_function("single_core_blockhammer_3k_insts", |b| {
+        b.iter(|| black_box(single_core_run()))
+    });
+    group.bench_function("attack_vs_victim_blockhammer", |b| {
+        b.iter(|| black_box(attack_run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

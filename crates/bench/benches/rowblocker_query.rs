@@ -1,0 +1,58 @@
+//! Latency of the RowBlocker "Is this ACT RowHammer-safe?" query and of the
+//! activation-recording path — the Section 6.2 claim that the query fits
+//! comfortably under the DRAM row-access latency.
+
+use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
+use bh_types::{DramAddress, ThreadId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mitigations::{DefenseGeometry, RowHammerDefense, RowHammerThreshold};
+use std::hint::black_box;
+
+fn build() -> BlockHammer {
+    let geometry = DefenseGeometry::default();
+    let config = BlockHammerConfig::for_rowhammer_threshold(
+        RowHammerThreshold::new(32_768),
+        &geometry,
+    );
+    BlockHammer::new(config, geometry, OperatingMode::FullFunctional)
+}
+
+fn bench_rowblocker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowblocker");
+    group.bench_function("is_activation_safe", |b| {
+        let mut bh = build();
+        let addr = DramAddress::new(0, 0, 1, 2, 0x4242, 0);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 148;
+            black_box(bh.is_activation_safe(cycle, ThreadId::new(0), black_box(&addr)))
+        });
+    });
+    group.bench_function("on_activation", |b| {
+        let mut bh = build();
+        let addr = DramAddress::new(0, 0, 1, 2, 0x4242, 0);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 148;
+            black_box(bh.on_activation(cycle, ThreadId::new(0), black_box(&addr)))
+        });
+    });
+    group.bench_function("query_plus_record_distinct_rows", |b| {
+        let mut bh = build();
+        let mut cycle = 0u64;
+        let mut row = 0u64;
+        b.iter(|| {
+            cycle += 148;
+            row = (row + 1) % 65_536;
+            let addr = DramAddress::new(0, 0, (row % 4) as usize, ((row / 4) % 4) as usize, row, 0);
+            if bh.is_activation_safe(cycle, ThreadId::new(0), &addr) {
+                bh.on_activation(cycle, ThreadId::new(0), &addr);
+            }
+            black_box(&bh);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rowblocker);
+criterion_main!(benches);

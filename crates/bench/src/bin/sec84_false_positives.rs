@@ -1,0 +1,17 @@
+//! Regenerates the Section 8.4 analysis: BlockHammer's false-positive rate
+//! and the distribution of the delay penalty mistakenly-delayed activations
+//! experience.
+
+use bench::{scale_from_args, PAPER_N_RH};
+use sim::experiments::false_positive_study;
+use sim::report::render_false_positives;
+
+fn main() {
+    let scale = scale_from_args();
+    let study = false_positive_study(&scale, PAPER_N_RH);
+    print!("{}", render_false_positives(&study));
+    println!(
+        "\nExpected shape (paper): false positive rate around 0.01%, delay\n\
+         percentiles well below the theoretical tDelay bound."
+    );
+}

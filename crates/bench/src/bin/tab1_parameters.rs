@@ -1,0 +1,36 @@
+//! Regenerates Table 1: BlockHammer's configuration for a DDR4 chip with
+//! N_RH = 32K (blacklisting threshold, CBF sizing, tDelay, history buffer,
+//! AttackThrottler counters).
+
+use blockhammer::config::BlockHammerConfig;
+use mitigations::{DefenseGeometry, RowHammerThreshold};
+
+fn main() {
+    let geometry = DefenseGeometry::default();
+    let config = BlockHammerConfig::for_rowhammer_threshold(
+        RowHammerThreshold::new(32_768),
+        &geometry,
+    );
+    println!("Table 1: BlockHammer parameters (DDR4, N_RH = 32K)\n");
+    println!("DRAM features");
+    println!("  N_RH            : {}", config.n_rh);
+    println!("  N_RH*           : {}", config.n_rh_star);
+    println!("  banks           : {}", geometry.total_banks);
+    println!("  tREFW           : 64 ms");
+    println!("  tRC             : 46.25 ns");
+    println!("  tFAW            : 35 ns");
+    println!("RowBlocker-BL");
+    println!("  N_BL            : {}", config.n_bl);
+    println!("  tCBF            : {} cycles (= tREFW)", config.t_cbf_cycles);
+    println!("  tDelay          : {:.2} us (paper: 7.7 us)", config.t_delay_us(3.2e9));
+    println!("  CBF size        : {} counters per bank", config.cbf_size);
+    println!("  CBF hashing     : {} H3-class functions", config.cbf_hashes);
+    println!("RowBlocker-HB");
+    println!(
+        "  history entries : {} per rank (paper: 887)",
+        config.history_entries
+    );
+    println!("AttackThrottler");
+    println!("  2 counters per <thread, bank> pair ({} threads x {} banks)",
+        geometry.threads, geometry.total_banks);
+}

@@ -1,0 +1,37 @@
+//! Regenerates the Section 5 security analysis (Tables 2 and 3): the
+//! epoch-type activation bounds and the conclusion that no access pattern
+//! can exceed the RowHammer threshold on a BlockHammer-protected system.
+
+use blockhammer::config::BlockHammerConfig;
+use blockhammer::security;
+use mitigations::{DefenseGeometry, RowHammerThreshold};
+
+fn main() {
+    let geometry = DefenseGeometry::default();
+    println!("Section 5 security analysis\n");
+    for n_rh in [32_768u64, 16_384, 8_192, 4_096, 2_048, 1_024] {
+        let config = BlockHammerConfig::for_rowhammer_threshold(
+            RowHammerThreshold::new(n_rh),
+            &geometry,
+        );
+        println!("--- N_RH = {n_rh} (N_RH* = {}) ---", config.n_rh_star);
+        println!("Table 2 epoch-type bounds (max activations per epoch):");
+        for bound in security::epoch_type_table(&config) {
+            println!("  {:?}: {}", bound.epoch_type, bound.max_activations);
+        }
+        let analysis = security::max_activations_in_refresh_window(&config);
+        println!(
+            "optimal attack: {} activations per refresh window across epochs {:?}",
+            analysis.max_activations, analysis.per_epoch
+        );
+        println!(
+            "=> {} (limit N_RH* = {})\n",
+            if analysis.safe {
+                "NO successful RowHammer attack exists"
+            } else {
+                "UNSAFE configuration"
+            },
+            analysis.n_rh_star
+        );
+    }
+}

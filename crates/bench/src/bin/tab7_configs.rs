@@ -1,0 +1,26 @@
+//! Regenerates Table 7: BlockHammer's configuration parameters for every
+//! evaluated RowHammer threshold (32K down to 1K).
+
+use blockhammer::config::BlockHammerConfig;
+use mitigations::DefenseGeometry;
+
+fn main() {
+    let geometry = DefenseGeometry::default();
+    println!("Table 7: BlockHammer configurations per RowHammer threshold\n");
+    println!(
+        "{:>8} {:>8} {:>10} {:>8} {:>10} {:>14} {:>12}",
+        "N_RH", "N_RH*", "CBF size", "N_BL", "tCBF", "tDelay (us)", "HB entries"
+    );
+    for config in BlockHammerConfig::table7(&geometry) {
+        println!(
+            "{:>8} {:>8} {:>10} {:>8} {:>10} {:>14.2} {:>12}",
+            config.n_rh,
+            config.n_rh_star,
+            config.cbf_size,
+            config.n_bl,
+            "64 ms",
+            config.t_delay_us(3.2e9),
+            config.history_entries
+        );
+    }
+}

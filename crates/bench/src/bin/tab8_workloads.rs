@@ -1,0 +1,14 @@
+//! Regenerates Table 8: the benign workload catalog with measured MPKI and
+//! row-buffer-conflict rates next to the values the paper reports for the
+//! original applications.
+
+use bench::scale_from_args;
+use sim::experiments::table8;
+use sim::report::render_table8;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 8: benign applications (synthetic stand-ins), {scale:?}\n");
+    let rows = table8(&scale);
+    print!("{}", render_table8(&rows));
+}

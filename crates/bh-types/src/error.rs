@@ -1,0 +1,69 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to a simulator component.
+///
+/// Configuration structs validate their arguments eagerly (C-VALIDATE) and
+/// report the offending field and constraint in the error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error for `field` with a human-readable
+    /// explanation of the violated constraint.
+    pub fn new(field: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The name of the offending configuration field.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// The constraint that was violated.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration `{}`: {}", self.field, self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_message() {
+        let e = ConfigError::new("n_bl", "must be smaller than the RowHammer threshold");
+        let s = e.to_string();
+        assert!(s.contains("n_bl"));
+        assert!(s.contains("smaller"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+
+    #[test]
+    fn accessors_return_parts() {
+        let e = ConfigError::new("cbf_size", "must be a power of two");
+        assert_eq!(e.field(), "cbf_size");
+        assert_eq!(e.message(), "must be a power of two");
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly-typed identifiers for hardware threads and DRAM structures.
+//!
+//! Newtypes are used instead of bare integers so that a bank index can never
+//! be accidentally passed where a row index is expected (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Creates a new identifier from its raw index.
+            pub const fn new(index: $inner) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub const fn index(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(value: $inner) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(value: $name) -> Self {
+                value.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a hardware thread (one simulated core runs one thread).
+    ThreadId,
+    usize
+);
+define_id!(
+    /// Identifier of a memory channel.
+    ChannelId,
+    usize
+);
+define_id!(
+    /// Identifier of a DRAM rank within a channel.
+    RankId,
+    usize
+);
+define_id!(
+    /// Identifier of a DRAM bank group within a rank (DDR4).
+    BankGroupId,
+    usize
+);
+define_id!(
+    /// Identifier of a DRAM bank within a bank group.
+    BankId,
+    usize
+);
+define_id!(
+    /// Identifier of a DRAM row within a bank (memory-controller visible).
+    RowId,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_raw_values() {
+        let t = ThreadId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(usize::from(t), 7);
+        assert_eq!(ThreadId::from(7), t);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = RowId::new(1);
+        let b = RowId::new(2);
+        assert!(a < b);
+        let set: HashSet<RowId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(format!("{}", BankId::new(3)), "BankId(3)");
+        assert_eq!(format!("{}", RowId::new(0)), "RowId(0)");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ChannelId::default().index(), 0);
+        assert_eq!(RowId::default().index(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Memory requests as seen by the memory controller.
+
+use crate::address::DramAddress;
+use crate::ids::ThreadId;
+use crate::time::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a memory request within a simulation run.
+pub type ReqId = u64;
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessType {
+    /// A demand read (load miss, instruction fetch miss, ...).
+    Read,
+    /// A writeback / store.
+    Write,
+}
+
+impl AccessType {
+    /// Whether the access is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, AccessType::Read)
+    }
+
+    /// Whether the access is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, AccessType::Write)
+    }
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessType::Read => f.write_str("read"),
+            AccessType::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Who generated a request. The memory controller and the energy model use
+/// this to attribute bandwidth and energy, and the defenses use it to
+/// distinguish demand traffic from their own victim-refresh traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestOrigin {
+    /// Demand traffic from a core (load/store miss or writeback).
+    Core,
+    /// A victim-row refresh injected by a reactive-refresh defense
+    /// (PARA, PRoHIT, MRLoc, CBT, TWiCe, Graphene).
+    VictimRefresh,
+}
+
+/// A memory request travelling from the LLC to DRAM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique request identifier.
+    pub id: ReqId,
+    /// Issuing hardware thread.
+    pub thread: ThreadId,
+    /// Physical byte address.
+    pub phys_addr: u64,
+    /// Decoded DRAM coordinates.
+    pub dram_addr: DramAddress,
+    /// Read or write.
+    pub access: AccessType,
+    /// Cycle at which the request entered the memory controller queue.
+    pub arrival: Cycle,
+    /// Who generated the request.
+    pub origin: RequestOrigin,
+}
+
+impl MemRequest {
+    /// Creates a demand request originating from a core.
+    pub fn demand(
+        id: ReqId,
+        thread: ThreadId,
+        phys_addr: u64,
+        dram_addr: DramAddress,
+        access: AccessType,
+        arrival: Cycle,
+    ) -> Self {
+        Self {
+            id,
+            thread,
+            phys_addr,
+            dram_addr,
+            access,
+            arrival,
+            origin: RequestOrigin::Core,
+        }
+    }
+
+    /// Creates a victim-refresh request injected by a RowHammer defense.
+    ///
+    /// Victim refreshes are modelled as reads of the victim row: they cost
+    /// an activation plus a column access, which is how reactive-refresh
+    /// proposals account for their overhead.
+    pub fn victim_refresh(id: ReqId, dram_addr: DramAddress, arrival: Cycle) -> Self {
+        Self {
+            id,
+            thread: ThreadId::new(usize::MAX),
+            phys_addr: 0,
+            dram_addr,
+            access: AccessType::Read,
+            arrival,
+            origin: RequestOrigin::VictimRefresh,
+        }
+    }
+
+    /// Whether the request is defense-injected victim-refresh traffic.
+    pub fn is_victim_refresh(&self) -> bool {
+        self.origin == RequestOrigin::VictimRefresh
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "req#{} {} {} by {} @{} ({:?})",
+            self.id, self.access, self.dram_addr, self.thread, self.arrival, self.origin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> DramAddress {
+        DramAddress::new(0, 0, 1, 2, 100, 5)
+    }
+
+    #[test]
+    fn demand_request_carries_thread_and_origin() {
+        let r = MemRequest::demand(1, ThreadId::new(3), 0x1000, addr(), AccessType::Write, 42);
+        assert_eq!(r.thread.index(), 3);
+        assert_eq!(r.origin, RequestOrigin::Core);
+        assert!(!r.is_victim_refresh());
+        assert!(r.access.is_write());
+    }
+
+    #[test]
+    fn victim_refresh_is_flagged() {
+        let r = MemRequest::victim_refresh(7, addr(), 10);
+        assert!(r.is_victim_refresh());
+        assert!(r.access.is_read());
+        assert_eq!(r.arrival, 10);
+    }
+
+    #[test]
+    fn access_type_predicates_are_exclusive() {
+        assert!(AccessType::Read.is_read() && !AccessType::Read.is_write());
+        assert!(AccessType::Write.is_write() && !AccessType::Write.is_read());
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let r = MemRequest::demand(9, ThreadId::new(1), 0x40, addr(), AccessType::Read, 5);
+        let s = r.to_string();
+        assert!(s.contains("req#9"));
+        assert!(s.contains("read"));
+    }
+}

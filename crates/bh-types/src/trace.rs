@@ -1,0 +1,93 @@
+//! Instruction-trace records consumed by the trace-driven core model.
+
+use serde::{Deserialize, Serialize};
+
+/// One record of a core's instruction trace: a run of non-memory
+/// instructions followed by a single memory access.
+///
+/// This is the same shape as Ramulator's CPU trace format
+/// (`<non-memory-instruction-count> <address>`), extended with a
+/// write flag and a cache-bypass flag (used by non-temporal copy, I/O-like
+/// and RowHammer-attack workloads that access memory directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Number of non-memory instructions preceding the memory access.
+    pub non_memory_instructions: u32,
+    /// Physical byte address of the memory access.
+    pub address: u64,
+    /// Whether the access is a store (true) or a load (false).
+    pub is_write: bool,
+    /// Whether the access bypasses the cache hierarchy and goes straight to
+    /// main memory.
+    pub bypass_cache: bool,
+}
+
+impl TraceRecord {
+    /// A cacheable load after `non_memory_instructions` non-memory
+    /// instructions.
+    pub fn load(non_memory_instructions: u32, address: u64) -> Self {
+        Self {
+            non_memory_instructions,
+            address,
+            is_write: false,
+            bypass_cache: false,
+        }
+    }
+
+    /// A cacheable store after `non_memory_instructions` non-memory
+    /// instructions.
+    pub fn store(non_memory_instructions: u32, address: u64) -> Self {
+        Self {
+            non_memory_instructions,
+            address,
+            is_write: true,
+            bypass_cache: false,
+        }
+    }
+
+    /// A cache-bypassing (non-temporal / uncached) load.
+    pub fn uncached_load(non_memory_instructions: u32, address: u64) -> Self {
+        Self {
+            non_memory_instructions,
+            address,
+            is_write: false,
+            bypass_cache: true,
+        }
+    }
+
+    /// A cache-bypassing (non-temporal / uncached) store.
+    pub fn uncached_store(non_memory_instructions: u32, address: u64) -> Self {
+        Self {
+            non_memory_instructions,
+            address,
+            is_write: true,
+            bypass_cache: true,
+        }
+    }
+
+    /// Total instructions this record represents (the non-memory run plus
+    /// the memory access itself).
+    pub fn instructions(&self) -> u64 {
+        self.non_memory_instructions as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        assert!(!TraceRecord::load(3, 0x40).is_write);
+        assert!(TraceRecord::store(3, 0x40).is_write);
+        assert!(TraceRecord::uncached_load(0, 0x40).bypass_cache);
+        assert!(TraceRecord::uncached_store(0, 0x40).bypass_cache);
+        assert!(TraceRecord::uncached_store(0, 0x40).is_write);
+    }
+
+    #[test]
+    fn instruction_count_includes_the_access() {
+        assert_eq!(TraceRecord::load(0, 0).instructions(), 1);
+        assert_eq!(TraceRecord::load(9, 0).instructions(), 10);
+    }
+}

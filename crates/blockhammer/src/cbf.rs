@@ -1,0 +1,336 @@
+//! Counting Bloom filters and the dual (time-interleaved) variant.
+//!
+//! RowBlocker-BL estimates per-row activation counts with counting Bloom
+//! filters (CBFs): inserting a row increments the `k` counters its hash
+//! functions select; testing returns the minimum of those counters, which
+//! is an upper bound on the row's true insertion count (false positives are
+//! possible, false negatives are not). Two CBFs used in a time-interleaved
+//! fashion (the "unified Bloom filter" idea) give a rolling-window estimate
+//! that never forgets an aggressor (Section 3.1.1, Figure 3).
+
+use crate::hash::H3HashFamily;
+use bh_types::Cycle;
+
+/// A counting Bloom filter with saturating counters.
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: Vec<u32>,
+    hashes: H3HashFamily,
+    /// Saturation value of each counter (the paper uses 12-13-bit counters
+    /// sized to count up to the blacklisting threshold).
+    saturation: u32,
+    insertions: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `size` counters (power of two), `hash_count`
+    /// H3 hash functions and counters saturating at `saturation`.
+    pub fn new(size: usize, hash_count: usize, saturation: u32, seed: u64) -> Self {
+        Self {
+            counters: vec![0; size],
+            hashes: H3HashFamily::new(hash_count, size, seed),
+            saturation,
+            insertions: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn size(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total insertions since the last clear.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Inserts `row`, incrementing all of its counters (saturating).
+    pub fn insert(&mut self, row: u64) {
+        self.insertions += 1;
+        let saturation = self.saturation;
+        let indices: Vec<usize> = self.hashes.indices(row).collect();
+        for idx in indices {
+            let c = &mut self.counters[idx];
+            if *c < saturation {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Returns an upper bound on the number of times `row` was inserted
+    /// since the last clear (the minimum of its counters).
+    pub fn estimate(&self, row: u64) -> u32 {
+        self.hashes
+            .indices(row)
+            .map(|idx| self.counters[idx])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Clears every counter and re-seeds the hash functions so the filter's
+    /// aliasing pattern changes (preventing a benign row from being
+    /// repeatedly victimized by aliasing with an aggressor).
+    pub fn clear(&mut self, reseed_value: u64) {
+        self.counters.fill(0);
+        self.hashes.reseed(reseed_value);
+        self.insertions = 0;
+    }
+}
+
+/// Identifier of the two filters inside a [`DualCountingBloomFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActiveFilter {
+    A,
+    B,
+}
+
+/// Two counting Bloom filters used in a time-interleaved manner (D-CBF).
+///
+/// Every insertion goes into both filters; only the *active* filter answers
+/// blacklist queries. At the end of every epoch (half the CBF lifetime
+/// `tCBF`), the active filter is cleared and the roles swap, so the filter
+/// answering queries always holds between one and two epochs of history —
+/// a rolling window that can never miss an aggressor.
+#[derive(Debug, Clone)]
+pub struct DualCountingBloomFilter {
+    filter_a: CountingBloomFilter,
+    filter_b: CountingBloomFilter,
+    active: ActiveFilter,
+    /// Epoch length in cycles (tCBF / 2).
+    epoch_cycles: Cycle,
+    /// Cycle at which the next clear/swap happens.
+    next_swap: Cycle,
+    /// Blacklisting threshold `N_BL`.
+    blacklist_threshold: u32,
+    /// Number of clear operations performed (also used to derive reseed
+    /// values).
+    clears: u64,
+    /// Rows inserted while already blacklisted (statistic).
+    blacklisted_insertions: u64,
+}
+
+impl DualCountingBloomFilter {
+    /// Creates a D-CBF.
+    ///
+    /// * `size` — counters per filter (power of two).
+    /// * `hash_count` — H3 hash functions per filter.
+    /// * `blacklist_threshold` — `N_BL`.
+    /// * `epoch_cycles` — epoch length (`tCBF / 2`).
+    pub fn new(
+        size: usize,
+        hash_count: usize,
+        blacklist_threshold: u32,
+        epoch_cycles: Cycle,
+        seed: u64,
+    ) -> Self {
+        // Counters only ever need to count up to N_BL; saturate just above.
+        let saturation = blacklist_threshold.saturating_add(1);
+        Self {
+            filter_a: CountingBloomFilter::new(size, hash_count, saturation, seed),
+            filter_b: CountingBloomFilter::new(size, hash_count, saturation, seed ^ 0x5555),
+            active: ActiveFilter::A,
+            epoch_cycles: epoch_cycles.max(1),
+            next_swap: epoch_cycles.max(1),
+            blacklist_threshold,
+            clears: 0,
+            blacklisted_insertions: 0,
+        }
+    }
+
+    /// The blacklisting threshold `N_BL`.
+    pub fn blacklist_threshold(&self) -> u32 {
+        self.blacklist_threshold
+    }
+
+    /// The epoch length in cycles.
+    pub fn epoch_cycles(&self) -> Cycle {
+        self.epoch_cycles
+    }
+
+    /// Number of clear (epoch-rollover) operations performed so far.
+    pub fn clears(&self) -> u64 {
+        self.clears
+    }
+
+    /// Insertions that targeted an already-blacklisted row.
+    pub fn blacklisted_insertions(&self) -> u64 {
+        self.blacklisted_insertions
+    }
+
+    fn active_filter(&self) -> &CountingBloomFilter {
+        match self.active {
+            ActiveFilter::A => &self.filter_a,
+            ActiveFilter::B => &self.filter_b,
+        }
+    }
+
+    /// Advances epoch bookkeeping to `now`, clearing and swapping filters
+    /// for every epoch boundary that has passed. Returns `true` if at least
+    /// one swap happened (callers use this to swap their own
+    /// epoch-interleaved state, e.g. AttackThrottler counters).
+    pub fn advance_to(&mut self, now: Cycle) -> bool {
+        let mut swapped = false;
+        while now >= self.next_swap {
+            self.next_swap += self.epoch_cycles;
+            self.clears += 1;
+            let reseed = 0xB10C_4A3E_u64 ^ self.clears;
+            match self.active {
+                ActiveFilter::A => {
+                    self.filter_a.clear(reseed);
+                    self.active = ActiveFilter::B;
+                }
+                ActiveFilter::B => {
+                    self.filter_b.clear(reseed);
+                    self.active = ActiveFilter::A;
+                }
+            }
+            swapped = true;
+        }
+        swapped
+    }
+
+    /// Inserts an activation of `row` at cycle `now` into both filters.
+    pub fn insert(&mut self, now: Cycle, row: u64) {
+        self.advance_to(now);
+        if self.is_blacklisted(row) {
+            self.blacklisted_insertions += 1;
+        }
+        self.filter_a.insert(row);
+        self.filter_b.insert(row);
+    }
+
+    /// The active filter's estimate of `row`'s activation count in the
+    /// current rolling window.
+    pub fn estimate(&self, row: u64) -> u32 {
+        self.active_filter().estimate(row)
+    }
+
+    /// Whether `row` is currently blacklisted (its estimated activation
+    /// count reached `N_BL`).
+    pub fn is_blacklisted(&self, row: u64) -> bool {
+        self.estimate(row) >= self.blacklist_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_never_underestimates() {
+        // The no-false-negative property: the estimate is always >= the true
+        // insertion count.
+        let mut cbf = CountingBloomFilter::new(256, 4, 1 << 20, 1);
+        for i in 0..2_000u64 {
+            cbf.insert(i % 37);
+        }
+        for row in 0..37u64 {
+            let true_count = 2_000 / 37 + u64::from(row < 2_000 % 37);
+            assert!(
+                u64::from(cbf.estimate(row)) >= true_count,
+                "row {row}: estimate {} < true {true_count}",
+                cbf.estimate(row)
+            );
+        }
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut cbf = CountingBloomFilter::new(64, 2, 10, 5);
+        for _ in 0..100 {
+            cbf.insert(3);
+        }
+        assert_eq!(cbf.estimate(3), 10);
+    }
+
+    #[test]
+    fn clear_resets_counts_and_changes_aliasing() {
+        let mut cbf = CountingBloomFilter::new(256, 4, 1000, 9);
+        for _ in 0..500 {
+            cbf.insert(7);
+        }
+        assert!(cbf.estimate(7) >= 500);
+        cbf.clear(123);
+        assert_eq!(cbf.estimate(7), 0);
+        assert_eq!(cbf.insertions(), 0);
+    }
+
+    #[test]
+    fn dcbf_blacklists_after_threshold_insertions() {
+        let mut d = DualCountingBloomFilter::new(1024, 4, 100, 1_000_000, 42);
+        for i in 0..99 {
+            d.insert(i, 5);
+            assert!(!d.is_blacklisted(5), "blacklisted too early at {i}");
+        }
+        d.insert(99, 5);
+        assert!(d.is_blacklisted(5));
+    }
+
+    #[test]
+    fn dcbf_keeps_blacklist_across_one_epoch_boundary() {
+        // Figure 3: a row blacklisted in epoch N stays blacklisted at the
+        // start of epoch N+1 because the newly-active filter still holds the
+        // insertions of the previous epoch.
+        let epoch = 10_000;
+        let mut d = DualCountingBloomFilter::new(1024, 4, 100, epoch, 42);
+        for i in 0..150u64 {
+            d.insert(i, 7);
+        }
+        assert!(d.is_blacklisted(7));
+        // Cross one epoch boundary without further insertions.
+        d.advance_to(epoch + 1);
+        assert!(
+            d.is_blacklisted(7),
+            "the passive filter must keep the row blacklisted right after a swap"
+        );
+        // After a full CBF lifetime with no insertions the row is forgotten.
+        d.advance_to(3 * epoch + 1);
+        assert!(!d.is_blacklisted(7));
+    }
+
+    #[test]
+    fn dcbf_never_misses_an_aggressor_split_across_epochs() {
+        // An aggressor that spreads N_BL activations across an epoch
+        // boundary must still be blacklisted, because insertions go to both
+        // filters and the active one saw all of them.
+        let epoch = 1_000;
+        let n_bl = 200;
+        let mut d = DualCountingBloomFilter::new(1024, 4, n_bl, epoch, 3);
+        // 150 activations at the end of epoch 0, 50 at the start of epoch 1.
+        for i in 0..150u64 {
+            d.insert(epoch - 300 + i, 9);
+        }
+        for i in 0..50u64 {
+            d.insert(epoch + i, 9);
+        }
+        assert!(
+            d.is_blacklisted(9),
+            "an aggressor straddling a clear must not escape the blacklist"
+        );
+    }
+
+    #[test]
+    fn aliasing_false_positive_rate_is_low_for_benign_access() {
+        // With a 1K-counter filter, 4 hashes and a benign access pattern
+        // (every row activated a handful of times), no row should come close
+        // to an 8K blacklisting threshold.
+        let mut d = DualCountingBloomFilter::new(1024, 4, 8192, u64::MAX / 2, 77);
+        for round in 0..10u64 {
+            for row in 0..4_000u64 {
+                d.insert(round * 4_000 + row, row);
+            }
+        }
+        let blacklisted = (0..4_000u64).filter(|&r| d.is_blacklisted(r)).count();
+        assert_eq!(blacklisted, 0);
+    }
+
+    #[test]
+    fn advance_reports_swaps() {
+        let mut d = DualCountingBloomFilter::new(64, 2, 10, 100, 1);
+        assert!(!d.advance_to(99));
+        assert!(d.advance_to(100));
+        assert!(!d.advance_to(150));
+        assert!(d.advance_to(350));
+        assert_eq!(d.clears(), 3);
+    }
+}

@@ -1,0 +1,440 @@
+//! The complete BlockHammer defense (RowBlocker + AttackThrottler) behind
+//! the [`mitigations::RowHammerDefense`] trait.
+
+use crate::config::BlockHammerConfig;
+use crate::rowblocker::RowBlocker;
+use crate::throttler::AttackThrottler;
+use bh_types::{Cycle, DramAddress, ThreadId};
+use mitigations::{DefenseGeometry, DefenseStats, MetadataFootprint, RowHammerDefense};
+use std::collections::HashMap;
+
+/// BlockHammer's operating mode (Section 3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatingMode {
+    /// Track activation rates and compute RHLI, but never delay an
+    /// activation or apply a quota. Used to characterize workloads and to
+    /// expose RHLI to the OS without interfering.
+    ObserveOnly,
+    /// Normal operation: delay unsafe activations and throttle threads with
+    /// non-zero RHLI.
+    FullFunctional,
+}
+
+/// Counters specific to BlockHammer (beyond the generic
+/// [`DefenseStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct BlockHammerStats {
+    /// Activations that were delayed although the row's *exact* activation
+    /// count was below `N_BL` (Bloom-filter aliasing), i.e. false positives.
+    pub false_positive_delays: u64,
+    /// Activations that were delayed and whose exact count had genuinely
+    /// crossed `N_BL`.
+    pub true_positive_delays: u64,
+    /// Observed gaps (in cycles) between consecutive activations of
+    /// blacklisted rows — the delay penalty distribution of Section 8.4.
+    pub delay_samples: Vec<Cycle>,
+    /// Number of epoch (filter swap) events.
+    pub epoch_swaps: u64,
+}
+
+impl BlockHammerStats {
+    /// The false-positive rate over all observed activations.
+    pub fn false_positive_rate(&self, observed_activations: u64) -> f64 {
+        if observed_activations == 0 {
+            0.0
+        } else {
+            self.false_positive_delays as f64 / observed_activations as f64
+        }
+    }
+
+    /// The `p`-th percentile (0-100) of the observed delay penalty, in
+    /// cycles. Returns 0 when no delays were observed.
+    pub fn delay_percentile(&self, p: f64) -> Cycle {
+        if self.delay_samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.delay_samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// The BlockHammer RowHammer defense.
+#[derive(Debug)]
+pub struct BlockHammer {
+    config: BlockHammerConfig,
+    geometry: DefenseGeometry,
+    mode: OperatingMode,
+    rowblocker: RowBlocker,
+    throttler: AttackThrottler,
+    /// Exact per-(bank, row) activation counts for the current and previous
+    /// epoch, used only to classify delays as true/false positives
+    /// (a model-level shadow; real hardware does not need it).
+    shadow_current: HashMap<(usize, u64), u64>,
+    shadow_previous: HashMap<(usize, u64), u64>,
+    /// Last activation cycle per (bank, row) for blacklisted rows, used to
+    /// sample the imposed delay.
+    last_blacklisted_act: HashMap<(usize, u64), Cycle>,
+    track_false_positives: bool,
+    stats: DefenseStats,
+    bh_stats: BlockHammerStats,
+}
+
+impl BlockHammer {
+    /// Creates BlockHammer with the given configuration, system geometry
+    /// and operating mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`BlockHammerConfig::validate`]).
+    pub fn new(config: BlockHammerConfig, geometry: DefenseGeometry, mode: OperatingMode) -> Self {
+        let rowblocker = RowBlocker::new(config, geometry, 0xB10C_4A3E);
+        let throttler = AttackThrottler::new(&config, geometry.threads, geometry.total_banks);
+        Self {
+            config,
+            geometry,
+            mode,
+            rowblocker,
+            throttler,
+            shadow_current: HashMap::new(),
+            shadow_previous: HashMap::new(),
+            last_blacklisted_act: HashMap::new(),
+            track_false_positives: false,
+            stats: DefenseStats::default(),
+            bh_stats: BlockHammerStats::default(),
+        }
+    }
+
+    /// Enables exact shadow tracking so delays can be classified as true or
+    /// false positives (Section 8.4). Off by default because it costs a
+    /// hash-map update per activation.
+    pub fn enable_false_positive_tracking(&mut self) {
+        self.track_false_positives = true;
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BlockHammerConfig {
+        &self.config
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> OperatingMode {
+        self.mode
+    }
+
+    /// BlockHammer-specific statistics (false positives, delay penalty
+    /// distribution, epoch swaps).
+    pub fn blockhammer_stats(&self) -> &BlockHammerStats {
+        &self.bh_stats
+    }
+
+    /// The RowBlocker component (exposed for focused inspection in tests
+    /// and experiments).
+    pub fn rowblocker(&self) -> &RowBlocker {
+        &self.rowblocker
+    }
+
+    /// The AttackThrottler component.
+    pub fn throttler(&self) -> &AttackThrottler {
+        &self.throttler
+    }
+
+    /// The maximum RHLI of `thread` across banks — the value BlockHammer
+    /// would expose to the operating system (Section 3.2.3).
+    pub fn thread_rhli(&self, thread: ThreadId) -> f64 {
+        self.throttler.max_rhli(thread)
+    }
+
+    fn bank_of(&self, addr: &DramAddress) -> usize {
+        self.geometry.global_bank(addr)
+    }
+
+    fn exact_count(&self, bank: usize, row: u64) -> u64 {
+        self.shadow_current
+            .get(&(bank, row))
+            .copied()
+            .unwrap_or(0)
+            + self.shadow_previous.get(&(bank, row)).copied().unwrap_or(0)
+    }
+
+    fn handle_epoch_swap(&mut self, swapped: bool) {
+        if swapped {
+            self.bh_stats.epoch_swaps += 1;
+            self.throttler.swap_and_clear();
+            if self.track_false_positives {
+                self.shadow_previous = std::mem::take(&mut self.shadow_current);
+            }
+            self.last_blacklisted_act.clear();
+        }
+    }
+}
+
+impl RowHammerDefense for BlockHammer {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            OperatingMode::ObserveOnly => "BlockHammer(observe)",
+            OperatingMode::FullFunctional => "BlockHammer",
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        let swapped = self.rowblocker.advance_epochs(now);
+        self.handle_epoch_swap(swapped);
+    }
+
+    fn is_activation_safe(&mut self, now: Cycle, _thread: ThreadId, addr: &DramAddress) -> bool {
+        let swapped = self.rowblocker.advance_epochs(now);
+        self.handle_epoch_swap(swapped);
+        let safe = self.rowblocker.is_activation_safe(now, addr);
+        if !safe {
+            self.stats.blocked_activations += 1;
+        }
+        match self.mode {
+            OperatingMode::ObserveOnly => true,
+            OperatingMode::FullFunctional => safe,
+        }
+    }
+
+    fn on_activation(
+        &mut self,
+        now: Cycle,
+        thread: ThreadId,
+        addr: &DramAddress,
+    ) -> Vec<DramAddress> {
+        let swapped = self.rowblocker.advance_epochs(now);
+        self.handle_epoch_swap(swapped);
+        self.stats.record_activation();
+        let bank = self.bank_of(addr);
+        let row = addr.row();
+        let was_blacklisted = self.rowblocker.on_activation(now, addr);
+        if self.track_false_positives {
+            *self.shadow_current.entry((bank, row)).or_insert(0) += 1;
+        }
+        if was_blacklisted {
+            self.stats.blacklist_insertions += 1;
+            self.throttler.record_blacklisted_activation(thread, bank);
+            // Sample the imposed inter-activation gap for Section 8.4.
+            if let Some(&last) = self.last_blacklisted_act.get(&(bank, row)) {
+                if self.bh_stats.delay_samples.len() < 1_000_000 {
+                    self.bh_stats.delay_samples.push(now.saturating_sub(last));
+                }
+            }
+            self.last_blacklisted_act.insert((bank, row), now);
+            if self.track_false_positives {
+                if self.exact_count(bank, row) >= self.config.n_bl {
+                    self.bh_stats.true_positive_delays += 1;
+                } else {
+                    self.bh_stats.false_positive_delays += 1;
+                }
+            }
+        }
+        // BlockHammer never injects victim refreshes: prevention is done
+        // purely by rate-limiting the aggressor.
+        Vec::new()
+    }
+
+    fn inflight_quota(&self, thread: ThreadId, global_bank: usize) -> Option<u32> {
+        match self.mode {
+            OperatingMode::ObserveOnly => None,
+            OperatingMode::FullFunctional => self.throttler.quota(thread, global_bank),
+        }
+    }
+
+    fn rhli(&self, thread: ThreadId, global_bank: usize) -> f64 {
+        self.throttler.rhli(thread, global_bank)
+    }
+
+    fn metadata(&self) -> MetadataFootprint {
+        // Per rank: one D-CBF per bank (two filters of `cbf_size` counters,
+        // each counter wide enough to count to N_BL), a history buffer whose
+        // entries hold a row id, a timestamp and a valid bit (CAM-searchable
+        // row field plus SRAM payload), and the AttackThrottler counters.
+        let banks_per_rank =
+            (self.geometry.bank_groups_per_rank * self.geometry.banks_per_group) as u64;
+        let counter_bits = 64 - u64::leading_zeros(self.config.n_bl.max(1)) as u64 + 1;
+        let cbf_bits = banks_per_rank * 2 * self.config.cbf_size as u64 * counter_bits;
+        let hb_entry_bits = 32; // row id + timestamp + valid (paper: 32 bits)
+        let hb_bits = self.config.history_entries as u64 * hb_entry_bits;
+        let throttler_bits = self.throttler.metadata_bits();
+        MetadataFootprint {
+            sram_bits: cbf_bits + hb_bits + throttler_bits,
+            cam_bits: hb_bits,
+        }
+    }
+
+    fn stats(&self) -> DefenseStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitigations::RowHammerThreshold;
+
+    fn small_setup(mode: OperatingMode) -> (BlockHammer, DefenseGeometry) {
+        let geometry = DefenseGeometry {
+            refresh_window_cycles: 100_000,
+            ..DefenseGeometry::default()
+        };
+        let config = BlockHammerConfig::for_rowhammer_threshold(
+            RowHammerThreshold::new(1_024),
+            &geometry,
+        );
+        (BlockHammer::new(config, geometry, mode), geometry)
+    }
+
+    fn addr(bg: usize, bank: usize, row: u64) -> DramAddress {
+        DramAddress::new(0, 0, bg, bank, row, 0)
+    }
+
+    #[test]
+    fn benign_thread_has_zero_rhli_and_is_never_blocked() {
+        let (mut bh, _) = small_setup(OperatingMode::FullFunctional);
+        let thread = ThreadId::new(1);
+        let mut now = 0;
+        for row in 0..500u64 {
+            let a = addr((row % 4) as usize, ((row / 4) % 4) as usize, row);
+            assert!(bh.is_activation_safe(now, thread, &a));
+            bh.on_activation(now, thread, &a);
+            now += 300;
+        }
+        assert_eq!(bh.thread_rhli(thread), 0.0);
+        assert_eq!(bh.inflight_quota(thread, 0), None);
+        assert_eq!(bh.stats().blocked_activations, 0);
+    }
+
+    #[test]
+    fn attacker_thread_gets_non_zero_rhli_and_a_shrinking_quota() {
+        let (mut bh, geometry) = small_setup(OperatingMode::FullFunctional);
+        let attacker = ThreadId::new(0);
+        let target = addr(0, 0, 42);
+        let bank = geometry.global_bank(&target);
+        let mut now = 0;
+        // Hammer as fast as the defense allows for one refresh window.
+        while now < 100_000 {
+            if bh.is_activation_safe(now, attacker, &target) {
+                bh.on_activation(now, attacker, &target);
+                now += 148;
+            } else {
+                now += 64;
+            }
+        }
+        assert!(bh.rhli(attacker, bank) > 0.0);
+        let quota = bh.inflight_quota(attacker, bank);
+        assert!(quota.is_some(), "an attacking thread must be quota-limited");
+        assert!(bh.stats().blocked_activations > 0);
+    }
+
+    #[test]
+    fn observe_only_mode_never_interferes_but_still_measures() {
+        let (mut bh, geometry) = small_setup(OperatingMode::ObserveOnly);
+        let attacker = ThreadId::new(0);
+        let target = addr(1, 0, 7);
+        let bank = geometry.global_bank(&target);
+        let mut now = 0;
+        for _ in 0..2_000u64 {
+            // Observe-only must always answer "safe"...
+            assert!(bh.is_activation_safe(now, attacker, &target));
+            bh.on_activation(now, attacker, &target);
+            now += 148;
+        }
+        // ...and never apply a quota...
+        assert_eq!(bh.inflight_quota(attacker, bank), None);
+        // ...while still measuring a large RHLI for the attacker
+        // (the paper reports RHLI values around 7-15 in observe-only mode).
+        assert!(
+            bh.rhli(attacker, bank) > 1.0,
+            "observe-only RHLI = {}, expected > 1",
+            bh.rhli(attacker, bank)
+        );
+    }
+
+    #[test]
+    fn full_functional_keeps_rhli_below_one() {
+        let (mut bh, geometry) = small_setup(OperatingMode::FullFunctional);
+        let attacker = ThreadId::new(0);
+        let target = addr(1, 1, 9);
+        let bank = geometry.global_bank(&target);
+        let mut now = 0;
+        while now < 200_000 {
+            // Emulate the memory controller: a quota of zero means the
+            // thread's requests are not even accepted, so no activation can
+            // happen on its behalf.
+            let blocked = bh.inflight_quota(attacker, bank) == Some(0);
+            if !blocked && bh.is_activation_safe(now, attacker, &target) {
+                bh.on_activation(now, attacker, &target);
+                now += 148;
+            } else {
+                now += 64;
+            }
+        }
+        let rhli = bh.rhli(attacker, bank);
+        assert!(
+            rhli <= 1.0 + 1e-6,
+            "RHLI must never exceed 1 in a protected system, got {rhli}"
+        );
+        assert!(rhli > 0.5, "the attacker should have been detected, RHLI = {rhli}");
+    }
+
+    #[test]
+    fn false_positive_tracking_classifies_delays() {
+        let (mut bh, _) = small_setup(OperatingMode::FullFunctional);
+        bh.enable_false_positive_tracking();
+        let attacker = ThreadId::new(0);
+        let target = addr(0, 0, 11);
+        let mut now = 0;
+        while now < 150_000 {
+            if bh.is_activation_safe(now, attacker, &target) {
+                bh.on_activation(now, attacker, &target);
+                now += 148;
+            } else {
+                now += 64;
+            }
+        }
+        let stats = bh.blockhammer_stats();
+        // The aggressor genuinely crossed N_BL, so its delays are true
+        // positives; aliasing-induced false positives are rare.
+        assert!(stats.true_positive_delays > 0);
+        let fp_rate = stats.false_positive_rate(bh.stats().observed_activations);
+        assert!(fp_rate < 0.01, "false positive rate {fp_rate} too high");
+        // Delay samples were collected and the large percentiles are close
+        // to tDelay.
+        let p100 = stats.delay_percentile(100.0);
+        assert!(p100 >= bh.config().t_delay_cycles / 2);
+    }
+
+    #[test]
+    fn metadata_footprint_matches_paper_scale() {
+        // Full-scale configuration: the paper reports ~51.5 KiB SRAM and
+        // ~1.7 KiB CAM per rank for N_RH = 32K.
+        let geometry = DefenseGeometry::default();
+        let config = BlockHammerConfig::for_rowhammer_threshold(
+            RowHammerThreshold::new(32_768),
+            &geometry,
+        );
+        let bh = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
+        let m = bh.metadata();
+        assert!(
+            (40.0..70.0).contains(&m.sram_kib()),
+            "SRAM {} KiB out of the expected range",
+            m.sram_kib()
+        );
+        assert!(
+            (1.0..6.0).contains(&m.cam_kib()),
+            "CAM {} KiB out of the expected range",
+            m.cam_kib()
+        );
+    }
+
+    #[test]
+    fn epoch_swaps_are_counted_via_tick() {
+        let (mut bh, _) = small_setup(OperatingMode::FullFunctional);
+        let epoch = bh.config().epoch_cycles();
+        bh.tick(epoch + 1);
+        bh.tick(2 * epoch + 1);
+        assert_eq!(bh.blockhammer_stats().epoch_swaps, 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! H3-class hash functions used to index the counting Bloom filters.
+//!
+//! The paper uses four area- and latency-efficient H3-class hash functions
+//! consisting of static bit-shift and mask (XOR-with-seed) operations
+//! (Section 3.1.1, citing Carter & Wegman). Each hash is re-seeded with a
+//! fresh random value whenever its filter is cleared so that an aggressor
+//! row aliases with a different set of rows after every clear.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A family of `k` H3-class hash functions mapping a row address to `k`
+/// counter indices in `[0, size)`.
+#[derive(Debug, Clone)]
+pub struct H3HashFamily {
+    /// Per-function seed (the XOR mask).
+    seeds: Vec<u64>,
+    /// Per-function static shift amount.
+    shifts: Vec<u32>,
+    /// Output range (number of counters); a power of two.
+    size: usize,
+}
+
+impl H3HashFamily {
+    /// Creates `functions` hash functions with output range `size`,
+    /// initialised from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `functions` is zero or `size` is not a power of two (the
+    /// hardware uses a simple bit mask to select the counter index).
+    pub fn new(functions: usize, size: usize, seed: u64) -> Self {
+        assert!(functions > 0, "at least one hash function is required");
+        assert!(
+            size.is_power_of_two(),
+            "the filter size must be a power of two, got {size}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            seeds: (0..functions).map(|_| rng.gen()).collect(),
+            // The shifts are hard-wired in the hardware; spreading them over
+            // the word keeps the functions independent.
+            shifts: (0..functions).map(|i| (7 * i as u32 + 3) % 29).collect(),
+            size,
+        }
+    }
+
+    /// Number of hash functions in the family.
+    pub fn function_count(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Output range of every function.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Replaces every seed with fresh random values derived from
+    /// `reseed_value` (called when the owning filter is cleared).
+    pub fn reseed(&mut self, reseed_value: u64) {
+        let mut rng = StdRng::seed_from_u64(reseed_value);
+        for seed in &mut self.seeds {
+            *seed = rng.gen();
+        }
+    }
+
+    /// The `k` counter indices for `row`.
+    pub fn indices(&self, row: u64) -> impl Iterator<Item = usize> + '_ {
+        self.seeds
+            .iter()
+            .zip(self.shifts.iter())
+            .map(move |(&seed, &shift)| {
+                // Static shift, XOR with the seed, then a cheap mixing fold
+                // so that high bits of the row address influence the low
+                // index bits even for small filters.
+                let x = (row.rotate_left(shift) ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((x >> 32) as usize) & (self.size - 1)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn produces_the_requested_number_of_indices_in_range() {
+        let h = H3HashFamily::new(4, 1024, 7);
+        let idx: Vec<usize> = h.indices(0xABCD).collect();
+        assert_eq!(idx.len(), 4);
+        assert!(idx.iter().all(|&i| i < 1024));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = H3HashFamily::new(4, 1024, 99);
+        let b = H3HashFamily::new(4, 1024, 99);
+        for row in [0u64, 1, 42, 0xFFFF, 0xDEAD_BEEF] {
+            assert_eq!(
+                a.indices(row).collect::<Vec<_>>(),
+                b.indices(row).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reseeding_changes_the_aliasing_pattern() {
+        let mut h = H3HashFamily::new(4, 1024, 3);
+        let before: Vec<usize> = h.indices(12345).collect();
+        h.reseed(4);
+        let after: Vec<usize> = h.indices(12345).collect();
+        assert_ne!(before, after, "reseeding must re-map rows");
+    }
+
+    #[test]
+    fn indices_are_spread_across_the_filter() {
+        // Hash 10_000 distinct rows into a 1K filter and verify reasonable
+        // dispersion (no counter absorbs a large fraction of rows).
+        let h = H3HashFamily::new(4, 1024, 11);
+        let mut histogram = vec![0u32; 1024];
+        for row in 0..10_000u64 {
+            for idx in h.indices(row) {
+                histogram[idx] += 1;
+            }
+        }
+        let max = *histogram.iter().max().unwrap();
+        let mean = 10_000.0 * 4.0 / 1024.0;
+        assert!(
+            (max as f64) < mean * 3.0,
+            "worst counter load {max} is more than 3x the mean {mean}"
+        );
+        let used: HashSet<usize> = (0..10_000u64)
+            .flat_map(|row| h.indices(row).collect::<Vec<_>>())
+            .collect();
+        assert!(used.len() > 900, "only {} counters used", used.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_is_rejected() {
+        let _ = H3HashFamily::new(4, 1000, 0);
+    }
+}

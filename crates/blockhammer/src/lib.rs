@@ -1,0 +1,73 @@
+//! # blockhammer
+//!
+//! A from-scratch implementation of **BlockHammer** (Yağlıkçı et al.,
+//! HPCA 2021): a RowHammer prevention mechanism that lives entirely in the
+//! memory controller and needs no knowledge of, or modification to, DRAM
+//! internals.
+//!
+//! BlockHammer combines two cooperating mechanisms:
+//!
+//! * **RowBlocker** ([`RowBlocker`]) tracks per-bank row activation rates
+//!   with a pair of time-interleaved counting Bloom filters
+//!   ([`DualCountingBloomFilter`]) and blacklists rows whose activation
+//!   count exceeds the blacklisting threshold `N_BL`. A per-rank history
+//!   buffer ([`HistoryBuffer`]) remembers recent activations; an activation
+//!   to a row that is both blacklisted *and* recently activated is delayed
+//!   by `tDelay` (Eq. 1), which caps every row's activation rate below the
+//!   RowHammer threshold and makes bit-flips impossible.
+//! * **AttackThrottler** ([`AttackThrottler`]) measures each thread's
+//!   *RowHammer likelihood index* (RHLI, Eq. 2) per bank — the number of
+//!   blacklisted-row activations it performs, normalized to the maximum
+//!   possible in a protected system — and applies an in-flight request
+//!   quota inversely proportional to it, so an attacker's bandwidth is
+//!   handed back to concurrently running benign applications.
+//!
+//! [`BlockHammer`] wires both together and implements the
+//! [`mitigations::RowHammerDefense`] trait, so it plugs into the same
+//! memory-controller hooks as the six baselines in the `mitigations` crate.
+//!
+//! Three analysis modules reproduce the paper's non-simulation results:
+//! [`config`] (Table 1 / Table 7 parameter derivation, Eq. 1 and Eq. 3),
+//! [`security`] (the Section 5 epoch-type constraint analysis, Tables 2-3)
+//! and [`hwcost`] (the Table 4 area / energy / static-power comparison).
+//!
+//! ## Example
+//!
+//! ```
+//! use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
+//! use bh_types::{DramAddress, ThreadId};
+//! use mitigations::{DefenseGeometry, RowHammerDefense, RowHammerThreshold};
+//!
+//! let geometry = DefenseGeometry::default();
+//! let config = BlockHammerConfig::for_rowhammer_threshold(
+//!     RowHammerThreshold::new(32_768),
+//!     &geometry,
+//! );
+//! let mut bh = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
+//! let aggressor = DramAddress::new(0, 0, 0, 0, 100, 0);
+//! // Benign activation rates are never delayed.
+//! assert!(bh.is_activation_safe(0, ThreadId::new(0), &aggressor));
+//! bh.on_activation(0, ThreadId::new(0), &aggressor);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hwcost;
+pub mod security;
+
+mod cbf;
+mod defense;
+mod hash;
+mod history;
+mod rowblocker;
+mod throttler;
+
+pub use cbf::{CountingBloomFilter, DualCountingBloomFilter};
+pub use config::BlockHammerConfig;
+pub use defense::{BlockHammer, BlockHammerStats, OperatingMode};
+pub use hash::H3HashFamily;
+pub use history::HistoryBuffer;
+pub use rowblocker::RowBlocker;
+pub use throttler::AttackThrottler;

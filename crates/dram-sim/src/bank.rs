@@ -1,0 +1,328 @@
+//! Per-bank row-buffer state machine and timing bookkeeping.
+
+use crate::timings::TimingsInCycles;
+use bh_types::{Cycle, MemCommand};
+use serde::{Deserialize, Serialize};
+
+/// The state of a DRAM bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankState {
+    /// No row is open; the bank is precharged.
+    Precharged,
+    /// A row is open in the row buffer.
+    Active {
+        /// The open row.
+        row: u64,
+    },
+}
+
+/// A single DRAM bank.
+///
+/// The bank tracks which row (if any) is open and the earliest cycle at
+/// which each class of command may next be issued, according to the DDR4
+/// timing constraints that involve only this bank (`tRC`, `tRCD`, `tRP`,
+/// `tRAS`, `tRTP`, `tWR`). Rank-level constraints (`tRRD`, `tFAW`, `tCCD`,
+/// `tWTR`, refresh) are enforced by [`crate::Rank`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest cycle an ACT may be issued.
+    next_activate: Cycle,
+    /// Earliest cycle a PRE may be issued.
+    next_precharge: Cycle,
+    /// Earliest cycle a column command (RD/WR) may be issued.
+    next_column: Cycle,
+    /// Cycle of the most recent ACT (for active-time accounting).
+    last_activate: Cycle,
+    /// Total cycles this bank has spent with a row open.
+    active_cycles: Cycle,
+    /// Total ACT commands this bank has received.
+    activations: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// Creates a bank in the precharged state with no pending constraints.
+    pub fn new() -> Self {
+        Self {
+            state: BankState::Precharged,
+            next_activate: 0,
+            next_precharge: 0,
+            next_column: 0,
+            last_activate: 0,
+            active_cycles: 0,
+            activations: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Precharged => None,
+        }
+    }
+
+    /// Total ACT commands this bank has received.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Total cycles this bank has spent with a row open, up to the last
+    /// precharge. Call [`Bank::close_accounting`] at the end of simulation
+    /// to include a still-open row.
+    pub fn active_cycles(&self) -> Cycle {
+        self.active_cycles
+    }
+
+    /// Finalizes active-time accounting at `now` (treats a still-open row
+    /// as closing now). Idempotent only if the bank is precharged.
+    pub fn close_accounting(&mut self, now: Cycle) {
+        if matches!(self.state, BankState::Active { .. }) {
+            self.active_cycles += now.saturating_sub(self.last_activate);
+            self.last_activate = now;
+        }
+    }
+
+    /// Earliest cycle at which `cmd` targeting `row` could legally be
+    /// issued, considering only this bank's constraints. Returns `None` if
+    /// the command is illegal in the current state regardless of time
+    /// (e.g. a READ while precharged, or an ACT while a different row is
+    /// open).
+    pub fn earliest_issue(&self, cmd: MemCommand, row: u64) -> Option<Cycle> {
+        match (cmd, self.state) {
+            (MemCommand::Activate, BankState::Precharged) => Some(self.next_activate),
+            (MemCommand::Activate, BankState::Active { .. }) => None,
+            (MemCommand::Precharge | MemCommand::PrechargeAll, _) => Some(self.next_precharge),
+            (
+                MemCommand::Read | MemCommand::ReadAp | MemCommand::Write | MemCommand::WriteAp,
+                BankState::Active { row: open },
+            ) if open == row => Some(self.next_column),
+            (MemCommand::Read | MemCommand::ReadAp | MemCommand::Write | MemCommand::WriteAp, _) => {
+                None
+            }
+            // Refresh legality (all banks precharged) is checked by the rank.
+            (MemCommand::Refresh, BankState::Precharged) => Some(self.next_activate),
+            (MemCommand::Refresh, BankState::Active { .. }) => None,
+        }
+    }
+
+    /// Whether `cmd` targeting `row` may be issued at `now` per this bank's
+    /// constraints.
+    pub fn can_issue(&self, cmd: MemCommand, row: u64, now: Cycle) -> bool {
+        self.earliest_issue(cmd, row).is_some_and(|t| t <= now)
+    }
+
+    /// Applies `cmd` at cycle `now`, updating state and future constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is not legal at `now` (callers must check
+    /// [`Bank::can_issue`] first); issuing an illegal command would silently
+    /// corrupt timing bookkeeping.
+    pub fn issue(&mut self, cmd: MemCommand, row: u64, now: Cycle, t: &TimingsInCycles) {
+        assert!(
+            self.can_issue(cmd, row, now),
+            "illegal {cmd} to row {row} at cycle {now} in state {:?}",
+            self.state
+        );
+        match cmd {
+            MemCommand::Activate => {
+                self.state = BankState::Active { row };
+                self.activations += 1;
+                self.last_activate = now;
+                self.next_activate = now + t.t_rc;
+                self.next_precharge = now + t.t_ras;
+                self.next_column = now + t.t_rcd;
+            }
+            MemCommand::Precharge | MemCommand::PrechargeAll => {
+                self.do_precharge(now, t);
+            }
+            MemCommand::Read => {
+                self.next_precharge = self.next_precharge.max(now + t.t_rtp);
+            }
+            MemCommand::Write => {
+                self.next_precharge = self.next_precharge.max(now + t.t_cwl + t.t_bl + t.t_wr);
+            }
+            MemCommand::ReadAp => {
+                let pre_at = self.next_precharge.max(now + t.t_rtp);
+                self.auto_precharge(pre_at, now, t);
+            }
+            MemCommand::WriteAp => {
+                let pre_at = self.next_precharge.max(now + t.t_cwl + t.t_bl + t.t_wr);
+                self.auto_precharge(pre_at, now, t);
+            }
+            MemCommand::Refresh => {
+                // Refresh occupies the whole rank; the rank pushes the
+                // bank's next-activate out by tRFC.
+                self.next_activate = self.next_activate.max(now + t.t_rfc);
+            }
+        }
+    }
+
+    /// Pushes the earliest allowed ACT out to at least `cycle` (used by the
+    /// rank for refresh and by tests).
+    pub(crate) fn delay_activate_until(&mut self, cycle: Cycle) {
+        self.next_activate = self.next_activate.max(cycle);
+    }
+
+    fn do_precharge(&mut self, now: Cycle, t: &TimingsInCycles) {
+        if let BankState::Active { .. } = self.state {
+            self.active_cycles += now - self.last_activate;
+        }
+        self.state = BankState::Precharged;
+        self.next_activate = self.next_activate.max(now + t.t_rp);
+    }
+
+    /// Models an auto-precharge that takes effect at `pre_at` (>= now).
+    fn auto_precharge(&mut self, pre_at: Cycle, now: Cycle, t: &TimingsInCycles) {
+        debug_assert!(pre_at >= now);
+        if let BankState::Active { .. } = self.state {
+            self.active_cycles += pre_at - self.last_activate;
+        }
+        self.state = BankState::Precharged;
+        self.next_activate = self.next_activate.max(pre_at + t.t_rp);
+        self.next_precharge = self.next_precharge.max(pre_at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_types::TimeConverter;
+
+    fn timings() -> TimingsInCycles {
+        crate::DramTimings::ddr4_2400().into_cycles(&TimeConverter::default())
+    }
+
+    #[test]
+    fn fresh_bank_allows_only_activate_and_precharge() {
+        let b = Bank::new();
+        assert!(b.can_issue(MemCommand::Activate, 5, 0));
+        assert!(b.can_issue(MemCommand::Precharge, 5, 0));
+        assert!(!b.can_issue(MemCommand::Read, 5, 0));
+        assert!(!b.can_issue(MemCommand::Write, 5, 0));
+    }
+
+    #[test]
+    fn activate_opens_row_and_blocks_new_activate_for_trc() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Activate, 7, 0, &t);
+        assert_eq!(b.open_row(), Some(7));
+        assert!(!b.can_issue(MemCommand::Activate, 8, 1), "row already open");
+        // Even after precharging, an ACT-to-ACT gap of at least tRC (and of
+        // tRAS + tRP, which can exceed tRC by a cycle due to rounding) is
+        // enforced.
+        assert!(b.can_issue(MemCommand::Precharge, 7, t.t_ras));
+        b.issue(MemCommand::Precharge, 7, t.t_ras, &t);
+        assert!(!b.can_issue(MemCommand::Activate, 8, t.t_rc - 1));
+        let next_act = b.earliest_issue(MemCommand::Activate, 8).unwrap();
+        assert!(next_act >= t.t_rc && next_act <= (t.t_ras + t.t_rp).max(t.t_rc));
+        assert!(b.can_issue(MemCommand::Activate, 8, next_act));
+    }
+
+    #[test]
+    fn read_requires_trcd_after_activate() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Activate, 7, 0, &t);
+        assert!(!b.can_issue(MemCommand::Read, 7, t.t_rcd - 1));
+        assert!(b.can_issue(MemCommand::Read, 7, t.t_rcd));
+        assert!(!b.can_issue(MemCommand::Read, 8, t.t_rcd), "wrong row");
+    }
+
+    #[test]
+    fn precharge_must_wait_for_tras() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Activate, 1, 0, &t);
+        assert!(!b.can_issue(MemCommand::Precharge, 1, t.t_ras - 1));
+        assert!(b.can_issue(MemCommand::Precharge, 1, t.t_ras));
+    }
+
+    #[test]
+    fn write_extends_precharge_constraint() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Activate, 1, 0, &t);
+        let wr_at = t.t_rcd;
+        b.issue(MemCommand::Write, 1, wr_at, &t);
+        let pre_earliest = wr_at + t.t_cwl + t.t_bl + t.t_wr;
+        assert!(!b.can_issue(MemCommand::Precharge, 1, pre_earliest - 1));
+        assert!(b.can_issue(MemCommand::Precharge, 1, pre_earliest));
+    }
+
+    #[test]
+    fn read_with_auto_precharge_closes_the_row() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Activate, 1, 0, &t);
+        b.issue(MemCommand::ReadAp, 1, t.t_rcd, &t);
+        assert_eq!(b.open_row(), None);
+        // The implicit precharge still honours tRP before the next ACT.
+        let pre_at = (t.t_rcd + t.t_rtp).max(t.t_ras);
+        assert!(!b.can_issue(MemCommand::Activate, 2, pre_at + t.t_rp - 1));
+        assert!(b.can_issue(MemCommand::Activate, 2, (pre_at + t.t_rp).max(t.t_rc)));
+    }
+
+    #[test]
+    fn activation_rate_is_bounded_by_trc() {
+        // Hammer a single row as fast as the bank allows and verify the
+        // achievable rate equals tREFW / tRC (the physical upper bound the
+        // paper's threat model assumes).
+        let t = timings();
+        let mut b = Bank::new();
+        let mut now = 0;
+        let mut acts = 0u64;
+        let horizon = t.t_rc * 1000;
+        while now < horizon {
+            let open_at = b.earliest_issue(MemCommand::Activate, 9).unwrap();
+            now = now.max(open_at);
+            if now >= horizon {
+                break;
+            }
+            b.issue(MemCommand::Activate, 9, now, &t);
+            acts += 1;
+            let pre_at = b.earliest_issue(MemCommand::Precharge, 9).unwrap();
+            b.issue(MemCommand::Precharge, 9, pre_at, &t);
+        }
+        // The achievable rate is bounded below by tRAS + tRP (the rounded
+        // act/pre loop period) and above by tRC.
+        let period = (t.t_ras + t.t_rp).max(t.t_rc);
+        assert!(acts <= horizon / t.t_rc + 1);
+        assert!(acts >= horizon / period - 1);
+        assert_eq!(b.activations(), acts);
+    }
+
+    #[test]
+    fn active_cycles_accumulate_between_act_and_pre() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Activate, 1, 0, &t);
+        b.issue(MemCommand::Precharge, 1, t.t_ras, &t);
+        assert_eq!(b.active_cycles(), t.t_ras);
+        let act2 = b.earliest_issue(MemCommand::Activate, 2).unwrap();
+        b.issue(MemCommand::Activate, 2, act2, &t);
+        b.close_accounting(act2 + 100);
+        assert_eq!(b.active_cycles(), t.t_ras + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn issuing_illegal_command_panics() {
+        let t = timings();
+        let mut b = Bank::new();
+        b.issue(MemCommand::Read, 3, 0, &t);
+    }
+}

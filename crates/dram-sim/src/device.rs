@@ -1,0 +1,220 @@
+//! The top-level DRAM device: a set of ranks plus statistics.
+
+use crate::organization::DramOrganization;
+use crate::rank::Rank;
+use crate::stats::DramStats;
+use crate::timings::TimingsInCycles;
+use bh_types::{Cycle, DramAddress, MemCommand};
+
+/// Result of issuing a command to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// Cycle at which the command's effect completes (data available for
+    /// reads, burst finished for writes, tRFC elapsed for refreshes).
+    pub completes_at: Cycle,
+}
+
+/// A complete DRAM subsystem (all channels and ranks) with cycle-accurate
+/// command legality checks.
+///
+/// The device is passive: the memory controller decides *what* to issue and
+/// asks the device *when* it may legally do so.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    organization: DramOrganization,
+    timings: TimingsInCycles,
+    ranks: Vec<Rank>,
+    stats: DramStats,
+}
+
+impl DramDevice {
+    /// Creates a device with the given organization and timing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organization fails validation (zero-sized dimension).
+    pub fn new(organization: DramOrganization, timings: TimingsInCycles) -> Self {
+        organization
+            .validate()
+            .expect("invalid DRAM organization");
+        let total_ranks = organization.total_ranks();
+        Self {
+            organization,
+            timings,
+            ranks: (0..total_ranks).map(|_| Rank::new(&organization)).collect(),
+            stats: DramStats::new(total_ranks),
+        }
+    }
+
+    /// The device's organization.
+    pub fn organization(&self) -> &DramOrganization {
+        &self.organization
+    }
+
+    /// The device's timing parameters (in simulation cycles).
+    pub fn timings(&self) -> &TimingsInCycles {
+        &self.timings
+    }
+
+    /// Enables per-activation logging in the statistics (used by safety
+    /// verification).
+    pub fn enable_activation_log(&mut self) {
+        self.stats.enable_activation_log();
+    }
+
+    fn rank_index(&self, addr: &DramAddress) -> usize {
+        self.organization.rank_index(addr.channel(), addr.rank())
+    }
+
+    /// Immutable access to a rank by flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rank(&self, index: usize) -> &Rank {
+        &self.ranks[index]
+    }
+
+    /// Number of ranks in the system.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The currently open row in the bank addressed by `addr`, if any.
+    pub fn open_row(&self, addr: &DramAddress) -> Option<u64> {
+        let rank = &self.ranks[self.rank_index(addr)];
+        rank.bank(addr.bank_in_rank(self.organization.banks_per_group))
+            .open_row()
+    }
+
+    /// Earliest cycle at which `cmd` to `addr` could be legally issued, or
+    /// `None` if it is illegal in the current state (wrong row open, bank
+    /// not activated, ...).
+    pub fn earliest_issue(&self, cmd: MemCommand, addr: &DramAddress) -> Option<Cycle> {
+        self.ranks[self.rank_index(addr)].earliest_issue(cmd, addr, &self.timings)
+    }
+
+    /// Whether `cmd` to `addr` may be issued at `now`.
+    pub fn can_issue(&self, cmd: MemCommand, addr: &DramAddress, now: Cycle) -> bool {
+        self.earliest_issue(cmd, addr).is_some_and(|t| t <= now)
+    }
+
+    /// Issues `cmd` to `addr` at `now` and returns when it completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is illegal at `now`; callers must consult
+    /// [`DramDevice::can_issue`] first.
+    pub fn issue(&mut self, cmd: MemCommand, addr: &DramAddress, now: Cycle) -> IssueOutcome {
+        let rank_idx = self.rank_index(addr);
+        let completes_at = self.ranks[rank_idx].issue(cmd, addr, now, &self.timings);
+        self.stats.per_rank[rank_idx].record(cmd);
+        if cmd == MemCommand::Activate {
+            let global_bank = addr.global_bank_index(
+                self.organization.ranks,
+                self.organization.bank_groups,
+                self.organization.banks_per_group,
+            );
+            self.stats.log_activation(now, global_bank, addr.row());
+        }
+        self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(completes_at);
+        IssueOutcome { completes_at }
+    }
+
+    /// Finalizes accounting at `now` and returns a snapshot of the
+    /// statistics (command counts, active-bank cycles, activation log).
+    pub fn finish(&mut self, now: Cycle) -> DramStats {
+        for (idx, rank) in self.ranks.iter_mut().enumerate() {
+            rank.close_accounting(now);
+            self.stats.active_bank_cycles[idx] = rank.total_active_cycles();
+        }
+        self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(now);
+        self.stats.clone()
+    }
+
+    /// Read-only access to the running statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramTimings;
+    use bh_types::TimeConverter;
+
+    fn device() -> DramDevice {
+        DramDevice::new(
+            DramOrganization::default(),
+            DramTimings::ddr4_2400().into_cycles(&TimeConverter::default()),
+        )
+    }
+
+    fn addr(bg: usize, bank: usize, row: u64, col: u64) -> DramAddress {
+        DramAddress::new(0, 0, bg, bank, row, col)
+    }
+
+    #[test]
+    fn read_after_activate_completes_after_read_latency() {
+        let mut d = device();
+        let a = addr(0, 0, 42, 3);
+        d.issue(MemCommand::Activate, &a, 0);
+        let rd_at = d.earliest_issue(MemCommand::Read, &a).unwrap();
+        let outcome = d.issue(MemCommand::Read, &a, rd_at);
+        assert_eq!(outcome.completes_at, rd_at + d.timings().read_latency());
+        assert_eq!(d.open_row(&a), Some(42));
+    }
+
+    #[test]
+    fn stats_count_commands_and_log_activations() {
+        let mut d = device();
+        d.enable_activation_log();
+        let a = addr(1, 2, 7, 0);
+        d.issue(MemCommand::Activate, &a, 0);
+        let rd_at = d.earliest_issue(MemCommand::Read, &a).unwrap();
+        d.issue(MemCommand::Read, &a, rd_at);
+        let stats = d.finish(rd_at + 100);
+        assert_eq!(stats.totals().activates, 1);
+        assert_eq!(stats.totals().reads, 1);
+        assert_eq!(stats.activation_log.as_ref().unwrap().len(), 1);
+        assert_eq!(stats.max_row_activations_in_window(1_000_000), Some(1));
+        assert!(stats.active_bank_cycles[0] > 0);
+    }
+
+    #[test]
+    fn conflicting_row_requires_precharge_first() {
+        let mut d = device();
+        let a = addr(0, 0, 1, 0);
+        let b = addr(0, 0, 2, 0);
+        d.issue(MemCommand::Activate, &a, 0);
+        assert!(d.earliest_issue(MemCommand::Activate, &b).is_none());
+        let pre_at = d.earliest_issue(MemCommand::Precharge, &a).unwrap();
+        d.issue(MemCommand::Precharge, &a, pre_at);
+        let act_at = d.earliest_issue(MemCommand::Activate, &b).unwrap();
+        assert!(act_at >= d.timings().t_rc);
+        d.issue(MemCommand::Activate, &b, act_at);
+        assert_eq!(d.open_row(&b), Some(2));
+    }
+
+    #[test]
+    fn banks_operate_independently() {
+        let mut d = device();
+        let a = addr(0, 0, 1, 0);
+        let b = addr(2, 1, 9, 0);
+        d.issue(MemCommand::Activate, &a, 0);
+        let act_b = d.earliest_issue(MemCommand::Activate, &b).unwrap();
+        assert!(act_b < d.timings().t_rc, "different banks need only tRRD, not tRC");
+        d.issue(MemCommand::Activate, &b, act_b);
+        assert_eq!(d.open_row(&a), Some(1));
+        assert_eq!(d.open_row(&b), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn illegal_issue_panics() {
+        let mut d = device();
+        let a = addr(0, 0, 1, 0);
+        d.issue(MemCommand::Read, &a, 0);
+    }
+}

@@ -1,0 +1,845 @@
+//! The FR-FCFS memory controller.
+
+use crate::config::MemCtrlConfig;
+use crate::stats::CtrlStats;
+use bh_types::{
+    AccessType, Cycle, DramAddress, MemCommand, MemRequest, ReqId, RequestOrigin, ThreadId,
+};
+use dram_sim::{DramDevice, DramStats, TimingsInCycles};
+use mitigations::RowHammerDefense;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Why a request could not be accepted into the controller queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The target queue (read or write) is full; retry later.
+    QueueFull,
+    /// The issuing thread has reached its defense-imposed in-flight quota
+    /// for the target bank (AttackThrottler); retry later.
+    QuotaExceeded,
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqueueError::QueueFull => f.write_str("memory controller queue is full"),
+            EnqueueError::QuotaExceeded => {
+                f.write_str("thread exceeded its in-flight request quota for the bank")
+            }
+        }
+    }
+}
+
+impl Error for EnqueueError {}
+
+/// A demand request that finished, reported back to the cache / core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// The original request.
+    pub request: MemRequest,
+    /// Cycle at which its data became available (reads) or its burst
+    /// finished (writes).
+    pub completed_at: Cycle,
+}
+
+/// The DDR4 memory controller.
+///
+/// See the crate-level documentation for the scheduling policy and the
+/// defense hook points.
+#[derive(Debug)]
+pub struct MemoryController {
+    config: MemCtrlConfig,
+    timings: TimingsInCycles,
+    dram: DramDevice,
+    read_queue: Vec<MemRequest>,
+    write_queue: Vec<MemRequest>,
+    victim_queue: Vec<MemRequest>,
+    /// Scheduled completions: (cycle, request).
+    pending_completions: Vec<(Cycle, MemRequest)>,
+    /// In-flight demand requests per (thread, global bank).
+    inflight: HashMap<(usize, usize), u32>,
+    /// Next auto-refresh deadline per rank.
+    next_refresh: Vec<Cycle>,
+    /// Whether a refresh is overdue per rank.
+    refresh_pending: Vec<bool>,
+    /// Per-channel earliest cycle the next command may use the command bus.
+    next_command_at: Vec<Cycle>,
+    /// Whether the controller is currently draining writes.
+    drain_mode: bool,
+    /// Requests that have been skipped at least once due to the defense.
+    delayed_by_defense: HashSet<ReqId>,
+    next_req_id: ReqId,
+    stats: CtrlStats,
+}
+
+impl MemoryController {
+    /// Creates a controller from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`MemCtrlConfig::validate`] to check it fallibly first.
+    pub fn new(config: MemCtrlConfig) -> Self {
+        config.validate().expect("invalid memory controller config");
+        let timings = config.timings.into_cycles(&config.clock);
+        let dram = DramDevice::new(config.organization, timings);
+        let ranks = config.organization.total_ranks();
+        let channels = config.organization.channels;
+        Self {
+            timings,
+            dram,
+            read_queue: Vec::with_capacity(config.read_queue_capacity),
+            write_queue: Vec::with_capacity(config.write_queue_capacity),
+            victim_queue: Vec::new(),
+            pending_completions: Vec::new(),
+            inflight: HashMap::new(),
+            next_refresh: vec![timings.t_refi; ranks],
+            refresh_pending: vec![false; ranks],
+            next_command_at: vec![0; channels],
+            drain_mode: false,
+            delayed_by_defense: HashSet::new(),
+            next_req_id: 0,
+            stats: CtrlStats::default(),
+            config,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &MemCtrlConfig {
+        &self.config
+    }
+
+    /// The timing parameters in simulation cycles.
+    pub fn timings(&self) -> &TimingsInCycles {
+        &self.timings
+    }
+
+    /// Enables per-activation logging in the DRAM statistics (safety
+    /// verification).
+    pub fn enable_activation_log(&mut self) {
+        self.dram.enable_activation_log();
+    }
+
+    /// Number of requests currently queued or awaiting completion.
+    pub fn pending_requests(&self) -> usize {
+        self.read_queue.len()
+            + self.write_queue.len()
+            + self.victim_queue.len()
+            + self.pending_completions.len()
+    }
+
+    /// Whether the controller has no work left.
+    pub fn is_idle(&self) -> bool {
+        self.pending_requests() == 0
+    }
+
+    /// Read-queue occupancy.
+    pub fn read_queue_len(&self) -> usize {
+        self.read_queue.len()
+    }
+
+    /// Write-queue occupancy.
+    pub fn write_queue_len(&self) -> usize {
+        self.write_queue.len()
+    }
+
+    fn global_bank(&self, addr: &DramAddress) -> usize {
+        let org = &self.config.organization;
+        addr.global_bank_index(org.ranks, org.bank_groups, org.banks_per_group)
+    }
+
+    /// Whether a new demand request from `thread` for `phys_addr` would be
+    /// accepted right now (queue space and defense quota).
+    pub fn can_accept(
+        &self,
+        thread: ThreadId,
+        phys_addr: u64,
+        access: AccessType,
+        defense: &dyn RowHammerDefense,
+    ) -> bool {
+        let queue_ok = match access {
+            AccessType::Read => self.read_queue.len() < self.config.read_queue_capacity,
+            AccessType::Write => self.write_queue.len() < self.config.write_queue_capacity,
+        };
+        if !queue_ok {
+            return false;
+        }
+        let addr = self
+            .config
+            .mapping
+            .decode(&self.config.organization.geometry(), phys_addr);
+        let bank = self.global_bank(&addr);
+        match defense.inflight_quota(thread, bank) {
+            Some(quota) => {
+                let inflight = self
+                    .inflight
+                    .get(&(thread.index(), bank))
+                    .copied()
+                    .unwrap_or(0);
+                inflight < quota
+            }
+            None => true,
+        }
+    }
+
+    /// Accepts a demand request into the controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqueueError::QueueFull`] when the target queue has no
+    /// space and [`EnqueueError::QuotaExceeded`] when the defense's
+    /// in-flight quota for this thread/bank is exhausted.
+    pub fn enqueue(
+        &mut self,
+        thread: ThreadId,
+        phys_addr: u64,
+        access: AccessType,
+        now: Cycle,
+        defense: &dyn RowHammerDefense,
+    ) -> Result<ReqId, EnqueueError> {
+        let addr = self
+            .config
+            .mapping
+            .decode(&self.config.organization.geometry(), phys_addr);
+        let bank = self.global_bank(&addr);
+        if let Some(quota) = defense.inflight_quota(thread, bank) {
+            let inflight = self
+                .inflight
+                .get(&(thread.index(), bank))
+                .copied()
+                .unwrap_or(0);
+            if inflight >= quota {
+                self.stats.rejected_quota += 1;
+                return Err(EnqueueError::QuotaExceeded);
+            }
+        }
+        let queue_full = match access {
+            AccessType::Read => self.read_queue.len() >= self.config.read_queue_capacity,
+            AccessType::Write => self.write_queue.len() >= self.config.write_queue_capacity,
+        };
+        if queue_full {
+            self.stats.rejected_queue_full += 1;
+            return Err(EnqueueError::QueueFull);
+        }
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let request = MemRequest::demand(id, thread, phys_addr, addr, access, now);
+        *self.inflight.entry((thread.index(), bank)).or_insert(0) += 1;
+        self.stats.accepted_requests += 1;
+        match access {
+            AccessType::Read => self.read_queue.push(request),
+            AccessType::Write => self.write_queue.push(request),
+        }
+        Ok(id)
+    }
+
+    /// Advances the controller by one cycle: completes finished requests,
+    /// issues at most one DRAM command per channel, and consults the
+    /// defense at every hook point.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        defense: &mut dyn RowHammerDefense,
+    ) -> Vec<CompletedRequest> {
+        defense.tick(now);
+        let completed = self.collect_completions(now);
+        for channel in 0..self.config.organization.channels {
+            if now < self.next_command_at[channel] {
+                continue;
+            }
+            if self.try_issue_command(channel, now, defense) {
+                self.next_command_at[channel] = now + self.config.command_bus_interval;
+            }
+        }
+        completed
+    }
+
+    fn collect_completions(&mut self, now: Cycle) -> Vec<CompletedRequest> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.pending_completions.len() {
+            if self.pending_completions[i].0 <= now {
+                let (completed_at, request) = self.pending_completions.swap_remove(i);
+                self.finish_request(&request, completed_at);
+                done.push(CompletedRequest {
+                    request,
+                    completed_at,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    fn finish_request(&mut self, request: &MemRequest, completed_at: Cycle) {
+        let bank = self.global_bank(&request.dram_addr);
+        if request.origin == RequestOrigin::Core {
+            if let Some(count) = self.inflight.get_mut(&(request.thread.index(), bank)) {
+                *count = count.saturating_sub(1);
+            }
+            match request.access {
+                AccessType::Read => {
+                    let latency = completed_at.saturating_sub(request.arrival);
+                    self.stats.record_read_completion(request.thread, latency);
+                }
+                AccessType::Write => self.stats.writes_completed += 1,
+            }
+        }
+    }
+
+    /// Attempts to issue one command on `channel`. Returns whether a
+    /// command (or an internally-completed victim refresh) consumed the
+    /// command slot.
+    fn try_issue_command(
+        &mut self,
+        channel: usize,
+        now: Cycle,
+        defense: &mut dyn RowHammerDefense,
+    ) -> bool {
+        if self.config.refresh_enabled && self.handle_refresh(channel, now) {
+            return true;
+        }
+        // Victim refreshes injected by the defense have priority: they are
+        // the defense's security-critical traffic.
+        if !self.victim_queue.is_empty() && self.serve_victim_queue(channel, now, defense) {
+            return true;
+        }
+        // Write-drain hysteresis.
+        if self.write_queue.len() >= self.config.write_drain_high {
+            self.drain_mode = true;
+        } else if self.write_queue.len() <= self.config.write_drain_low {
+            self.drain_mode = false;
+        }
+        let serve_writes = self.drain_mode || self.read_queue.is_empty();
+        if serve_writes && !self.write_queue.is_empty() {
+            self.serve_demand_queue(AccessType::Write, channel, now, defense)
+        } else if !self.read_queue.is_empty() {
+            self.serve_demand_queue(AccessType::Read, channel, now, defense)
+        } else {
+            false
+        }
+    }
+
+    /// Issues precharges / REF commands needed for overdue auto-refresh.
+    /// Returns whether a command slot was consumed.
+    fn handle_refresh(&mut self, channel: usize, now: Cycle) -> bool {
+        let org = self.config.organization;
+        for rank_in_channel in 0..org.ranks {
+            let rank_idx = org.rank_index(channel, rank_in_channel);
+            if now >= self.next_refresh[rank_idx] {
+                self.refresh_pending[rank_idx] = true;
+            }
+            if !self.refresh_pending[rank_idx] {
+                continue;
+            }
+            // Any address within the rank works for rank-wide commands.
+            let probe = DramAddress::new(channel, rank_in_channel, 0, 0, 0, 0);
+            if self.dram.can_issue(MemCommand::Refresh, &probe, now) {
+                self.dram.issue(MemCommand::Refresh, &probe, now);
+                self.stats.auto_refreshes += 1;
+                self.refresh_pending[rank_idx] = false;
+                self.next_refresh[rank_idx] += self.timings.t_refi;
+                return true;
+            }
+            // Close any open bank so the refresh can proceed.
+            for bg in 0..org.bank_groups {
+                for ba in 0..org.banks_per_group {
+                    let addr = DramAddress::new(channel, rank_in_channel, bg, ba, 0, 0);
+                    if self.dram.open_row(&addr).is_some()
+                        && self.dram.can_issue(MemCommand::Precharge, &addr, now)
+                    {
+                        self.dram.issue(MemCommand::Precharge, &addr, now);
+                        return true;
+                    }
+                }
+            }
+            // Refresh is pending but nothing can be issued yet: hold the
+            // slot so no new activations postpone the refresh further.
+            return true;
+        }
+        false
+    }
+
+    /// Serves the defense's victim-refresh queue. A victim refresh is
+    /// physically an activation of the victim row; a victim whose row is
+    /// already open has effectively just been refreshed and completes
+    /// without a command.
+    fn serve_victim_queue(
+        &mut self,
+        channel: usize,
+        now: Cycle,
+        _defense: &mut dyn RowHammerDefense,
+    ) -> bool {
+        for i in 0..self.victim_queue.len() {
+            let addr = self.victim_queue[i].dram_addr;
+            if addr.channel() != channel {
+                continue;
+            }
+            match self.dram.open_row(&addr) {
+                Some(open) if open == addr.row() => {
+                    // Row already open: the restore has just happened.
+                    self.victim_queue.swap_remove(i);
+                    self.stats.victim_refreshes_performed += 1;
+                    return true;
+                }
+                Some(_) => {
+                    if self.dram.can_issue(MemCommand::Precharge, &addr, now) {
+                        self.dram.issue(MemCommand::Precharge, &addr, now);
+                        self.stats.row_conflicts += 1;
+                        return true;
+                    }
+                }
+                None => {
+                    if self.dram.can_issue(MemCommand::Activate, &addr, now) {
+                        self.dram.issue(MemCommand::Activate, &addr, now);
+                        self.victim_queue.swap_remove(i);
+                        self.stats.victim_refreshes_performed += 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// FR-FCFS over one demand queue. Returns whether a command was issued.
+    fn serve_demand_queue(
+        &mut self,
+        kind: AccessType,
+        channel: usize,
+        now: Cycle,
+        defense: &mut dyn RowHammerDefense,
+    ) -> bool {
+        // Pass 1: oldest row-buffer hit.
+        if let Some(i) = self.find_row_hit(kind, channel, now) {
+            let request = match kind {
+                AccessType::Read => self.read_queue.remove(i),
+                AccessType::Write => self.write_queue.remove(i),
+            };
+            let cmd = match kind {
+                AccessType::Read => MemCommand::Read,
+                AccessType::Write => MemCommand::Write,
+            };
+            let outcome = self.dram.issue(cmd, &request.dram_addr, now);
+            self.stats.row_hits += 1;
+            self.pending_completions
+                .push((outcome.completes_at, request));
+            return true;
+        }
+        // Pass 2: oldest request to a precharged bank -> activate.
+        if let Some(i) = self.find_activation(kind, channel, now, defense) {
+            let (thread, addr, origin) = {
+                let request = self.queue(kind)[i].clone();
+                (request.thread, request.dram_addr, request.origin)
+            };
+            self.dram.issue(MemCommand::Activate, &addr, now);
+            self.stats.row_misses += 1;
+            if origin == RequestOrigin::Core {
+                let victims = defense.on_activation(now, thread, &addr);
+                self.inject_victim_refreshes(victims, now);
+            }
+            return true;
+        }
+        // Pass 3: oldest conflicting request -> precharge, but only if no
+        // queued request still wants the currently open row (FR part of
+        // FR-FCFS).
+        if let Some(addr) = self.find_conflict_precharge(kind, channel, now) {
+            self.dram.issue(MemCommand::Precharge, &addr, now);
+            self.stats.row_conflicts += 1;
+            return true;
+        }
+        false
+    }
+
+    fn queue(&self, kind: AccessType) -> &Vec<MemRequest> {
+        match kind {
+            AccessType::Read => &self.read_queue,
+            AccessType::Write => &self.write_queue,
+        }
+    }
+
+    fn find_row_hit(&self, kind: AccessType, channel: usize, now: Cycle) -> Option<usize> {
+        let cmd = match kind {
+            AccessType::Read => MemCommand::Read,
+            AccessType::Write => MemCommand::Write,
+        };
+        self.queue(kind).iter().position(|request| {
+            let addr = &request.dram_addr;
+            addr.channel() == channel
+                && self.dram.open_row(addr) == Some(addr.row())
+                && self.dram.can_issue(cmd, addr, now)
+        })
+    }
+
+    fn find_activation(
+        &mut self,
+        kind: AccessType,
+        channel: usize,
+        now: Cycle,
+        defense: &mut dyn RowHammerDefense,
+    ) -> Option<usize> {
+        let len = self.queue(kind).len();
+        for i in 0..len {
+            let request = self.queue(kind)[i].clone();
+            let addr = request.dram_addr;
+            if addr.channel() != channel
+                || self.dram.open_row(&addr).is_some()
+                || !self.dram.can_issue(MemCommand::Activate, &addr, now)
+            {
+                continue;
+            }
+            // The defense may veto (delay) this activation; skipping the
+            // request effectively prioritizes RowHammer-safe requests, as
+            // Section 3.1 describes.
+            if request.origin == RequestOrigin::Core
+                && !defense.is_activation_safe(now, request.thread, &addr)
+            {
+                if self.delayed_by_defense.insert(request.id) {
+                    self.stats.activations_delayed_by_defense += 1;
+                }
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    fn find_conflict_precharge(
+        &self,
+        kind: AccessType,
+        channel: usize,
+        now: Cycle,
+    ) -> Option<DramAddress> {
+        for request in self.queue(kind) {
+            let addr = &request.dram_addr;
+            if addr.channel() != channel {
+                continue;
+            }
+            let Some(open) = self.dram.open_row(addr) else {
+                continue;
+            };
+            if open == addr.row() {
+                continue;
+            }
+            // Keep the row open while any queued request still hits it.
+            let still_wanted = self
+                .read_queue
+                .iter()
+                .chain(self.write_queue.iter())
+                .any(|other| {
+                    other.dram_addr.channel() == addr.channel()
+                        && other.dram_addr.rank() == addr.rank()
+                        && other.dram_addr.bank_group() == addr.bank_group()
+                        && other.dram_addr.bank() == addr.bank()
+                        && other.dram_addr.row() == open
+                });
+            if still_wanted {
+                continue;
+            }
+            if self.dram.can_issue(MemCommand::Precharge, addr, now) {
+                return Some(*addr);
+            }
+        }
+        None
+    }
+
+    fn inject_victim_refreshes(&mut self, victims: Vec<DramAddress>, now: Cycle) {
+        for victim in victims {
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            self.victim_queue
+                .push(MemRequest::victim_refresh(id, victim, now));
+        }
+    }
+
+    /// Finalizes the run at `now`, returning DRAM statistics (command
+    /// counts, bank-state residency, optional activation log) and the
+    /// controller's own statistics.
+    pub fn finish(&mut self, now: Cycle) -> (DramStats, CtrlStats) {
+        (self.dram.finish(now), self.stats.clone())
+    }
+
+    /// Read-only access to the controller statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Read-only access to the DRAM device (e.g. for inspecting open rows
+    /// or activation logs in tests).
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitigations::{DefenseGeometry, NoMitigation, Para, RowHammerThreshold};
+
+    fn controller() -> MemoryController {
+        MemoryController::new(MemCtrlConfig::default())
+    }
+
+    fn run_until_complete(
+        ctrl: &mut MemoryController,
+        defense: &mut dyn RowHammerDefense,
+        start: Cycle,
+        limit: Cycle,
+    ) -> Vec<CompletedRequest> {
+        let mut done = Vec::new();
+        for cycle in start..start + limit {
+            done.extend(ctrl.tick(cycle, defense));
+            if ctrl.is_idle() {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_act_plus_cas_latency() {
+        let mut ctrl = controller();
+        let mut defense = NoMitigation::new();
+        ctrl.enqueue(ThreadId::new(0), 0x10_000, AccessType::Read, 0, &defense)
+            .unwrap();
+        let done = run_until_complete(&mut ctrl, &mut defense, 0, 5_000);
+        assert_eq!(done.len(), 1);
+        let latency = done[0].completed_at;
+        let t = *ctrl.timings();
+        assert!(latency >= t.t_rcd + t.read_latency());
+        assert!(latency < t.t_rcd + t.read_latency() + 200);
+        assert_eq!(ctrl.stats().reads_completed, 1);
+        assert_eq!(ctrl.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_reads_hit_the_row_buffer() {
+        let mut ctrl = controller();
+        let mut defense = NoMitigation::new();
+        // Consecutive cache lines within the MOP group map to the same row.
+        for line in 0..4u64 {
+            ctrl.enqueue(
+                ThreadId::new(0),
+                0x20_000 + line * 64,
+                AccessType::Read,
+                0,
+                &defense,
+            )
+            .unwrap();
+        }
+        let done = run_until_complete(&mut ctrl, &mut defense, 0, 10_000);
+        assert_eq!(done.len(), 4);
+        assert_eq!(ctrl.stats().row_misses, 1, "one ACT opens the row");
+        assert_eq!(ctrl.stats().row_hits, 4, "all four columns hit");
+    }
+
+    #[test]
+    fn row_conflicts_are_resolved_with_precharge() {
+        let mut ctrl = controller();
+        let mut defense = NoMitigation::new();
+        let geometry = ctrl.config().organization.geometry();
+        let mapping = ctrl.config().mapping;
+        // Two addresses in the same bank but different rows.
+        let a = mapping.encode(&geometry, &DramAddress::new(0, 0, 1, 1, 100, 0));
+        let b = mapping.encode(&geometry, &DramAddress::new(0, 0, 1, 1, 200, 0));
+        ctrl.enqueue(ThreadId::new(0), a, AccessType::Read, 0, &defense)
+            .unwrap();
+        ctrl.enqueue(ThreadId::new(0), b, AccessType::Read, 0, &defense)
+            .unwrap();
+        let done = run_until_complete(&mut ctrl, &mut defense, 0, 20_000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctrl.stats().row_conflicts, 1);
+        assert_eq!(ctrl.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn writes_are_drained_and_complete() {
+        let mut ctrl = controller();
+        let mut defense = NoMitigation::new();
+        for i in 0..8u64 {
+            ctrl.enqueue(
+                ThreadId::new(0),
+                0x100_000 + i * 4096,
+                AccessType::Write,
+                0,
+                &defense,
+            )
+            .unwrap();
+        }
+        let _ = run_until_complete(&mut ctrl, &mut defense, 0, 50_000);
+        assert_eq!(ctrl.stats().writes_completed, 8);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut ctrl = controller();
+        let defense = NoMitigation::new();
+        let cap = ctrl.config().read_queue_capacity;
+        for i in 0..cap as u64 {
+            ctrl.enqueue(ThreadId::new(0), i * 4096, AccessType::Read, 0, &defense)
+                .unwrap();
+        }
+        let err = ctrl
+            .enqueue(ThreadId::new(0), 0xdead000, AccessType::Read, 0, &defense)
+            .unwrap_err();
+        assert_eq!(err, EnqueueError::QueueFull);
+        assert_eq!(ctrl.stats().rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn auto_refresh_is_issued_periodically() {
+        let mut ctrl = controller();
+        let mut defense = NoMitigation::new();
+        let t_refi = ctrl.timings().t_refi;
+        let horizon = t_refi * 5 + 1000;
+        for cycle in 0..horizon {
+            ctrl.tick(cycle, &mut defense);
+        }
+        let refreshes = ctrl.stats().auto_refreshes;
+        assert!(
+            (4..=6).contains(&refreshes),
+            "expected about 5 refreshes, got {refreshes}"
+        );
+    }
+
+    #[test]
+    fn reactive_defense_victim_refreshes_are_performed() {
+        let mut ctrl = controller();
+        // A PARA with an aggressive probability so victim refreshes are
+        // frequent enough to observe quickly.
+        let mut defense = Para::new(
+            RowHammerThreshold::new(16),
+            1e-3,
+            DefenseGeometry::default(),
+            1,
+        );
+        let geometry = ctrl.config().organization.geometry();
+        let mapping = ctrl.config().mapping;
+        let mut cycle = 0;
+        // Hammer two rows of one bank alternately.
+        for i in 0..400u64 {
+            let row = if i % 2 == 0 { 1000 } else { 1002 };
+            let phys = mapping.encode(&geometry, &DramAddress::new(0, 0, 0, 0, row, 0));
+            loop {
+                if ctrl
+                    .enqueue(ThreadId::new(0), phys, AccessType::Read, cycle, &defense)
+                    .is_ok()
+                {
+                    break;
+                }
+                ctrl.tick(cycle, &mut defense);
+                cycle += 1;
+            }
+        }
+        while !ctrl.is_idle() && cycle < 2_000_000 {
+            ctrl.tick(cycle, &mut defense);
+            cycle += 1;
+        }
+        assert!(
+            ctrl.stats().victim_refreshes_performed > 0,
+            "PARA's victim refreshes must reach DRAM"
+        );
+        assert!(defense.stats().victim_refreshes >= ctrl.stats().victim_refreshes_performed);
+    }
+
+    #[test]
+    fn quota_zero_blocks_a_thread() {
+        /// A defense that forbids thread 1 from having any in-flight
+        /// requests (an extreme AttackThrottler).
+        #[derive(Debug)]
+        struct BlockThread1;
+        impl RowHammerDefense for BlockThread1 {
+            fn name(&self) -> &'static str {
+                "BlockThread1"
+            }
+            fn on_activation(
+                &mut self,
+                _now: Cycle,
+                _thread: ThreadId,
+                _addr: &DramAddress,
+            ) -> Vec<DramAddress> {
+                Vec::new()
+            }
+            fn inflight_quota(&self, thread: ThreadId, _bank: usize) -> Option<u32> {
+                (thread.index() == 1).then_some(0)
+            }
+            fn metadata(&self) -> mitigations::MetadataFootprint {
+                mitigations::MetadataFootprint::default()
+            }
+            fn stats(&self) -> mitigations::DefenseStats {
+                mitigations::DefenseStats::default()
+            }
+        }
+        let mut ctrl = controller();
+        let defense = BlockThread1;
+        assert!(ctrl
+            .enqueue(ThreadId::new(0), 0x1000, AccessType::Read, 0, &defense)
+            .is_ok());
+        let err = ctrl
+            .enqueue(ThreadId::new(1), 0x2000, AccessType::Read, 0, &defense)
+            .unwrap_err();
+        assert_eq!(err, EnqueueError::QuotaExceeded);
+        assert!(!ctrl.can_accept(ThreadId::new(1), 0x2000, AccessType::Read, &defense));
+        assert!(ctrl.can_accept(ThreadId::new(0), 0x3000, AccessType::Read, &defense));
+    }
+
+    #[test]
+    fn defense_veto_delays_activation() {
+        /// A defense that vetoes every activation until cycle 5000.
+        #[derive(Debug)]
+        struct VetoUntil(Cycle);
+        impl RowHammerDefense for VetoUntil {
+            fn name(&self) -> &'static str {
+                "VetoUntil"
+            }
+            fn is_activation_safe(
+                &mut self,
+                now: Cycle,
+                _thread: ThreadId,
+                _addr: &DramAddress,
+            ) -> bool {
+                now >= self.0
+            }
+            fn on_activation(
+                &mut self,
+                _now: Cycle,
+                _thread: ThreadId,
+                _addr: &DramAddress,
+            ) -> Vec<DramAddress> {
+                Vec::new()
+            }
+            fn metadata(&self) -> mitigations::MetadataFootprint {
+                mitigations::MetadataFootprint::default()
+            }
+            fn stats(&self) -> mitigations::DefenseStats {
+                mitigations::DefenseStats::default()
+            }
+        }
+        let mut ctrl = controller();
+        let mut defense = VetoUntil(5_000);
+        ctrl.enqueue(ThreadId::new(0), 0x7000, AccessType::Read, 0, &defense)
+            .unwrap();
+        let done = run_until_complete(&mut ctrl, &mut defense, 0, 50_000);
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].completed_at >= 5_000,
+            "read completed at {} despite the veto",
+            done[0].completed_at
+        );
+        assert_eq!(ctrl.stats().activations_delayed_by_defense, 1);
+    }
+
+    #[test]
+    fn per_thread_latency_is_tracked() {
+        let mut ctrl = controller();
+        let mut defense = NoMitigation::new();
+        ctrl.enqueue(ThreadId::new(3), 0x9000, AccessType::Read, 0, &defense)
+            .unwrap();
+        let _ = run_until_complete(&mut ctrl, &mut defense, 0, 10_000);
+        assert_eq!(ctrl.stats().reads_per_thread[&3], 1);
+        assert!(ctrl.stats().read_latency_per_thread[&3] > 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Memory controller statistics.
+
+use bh_types::{Cycle, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters the controller accumulates during a run.
+///
+/// Row-buffer outcome classification follows the usual definitions: a *hit*
+/// finds the target row already open, a *miss* finds the bank precharged
+/// (only an ACT is needed), a *conflict* finds a different row open (PRE
+/// then ACT are needed).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CtrlStats {
+    /// Demand requests accepted into the queues.
+    pub accepted_requests: u64,
+    /// Requests rejected because the target queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests rejected because the issuing thread exceeded its defense
+    /// quota (AttackThrottler).
+    pub rejected_quota: u64,
+    /// Column commands that hit an open row.
+    pub row_hits: u64,
+    /// Activations issued to a precharged bank.
+    pub row_misses: u64,
+    /// Precharges issued to resolve a row conflict.
+    pub row_conflicts: u64,
+    /// Demand reads completed.
+    pub reads_completed: u64,
+    /// Demand writes completed.
+    pub writes_completed: u64,
+    /// Victim-refresh activations performed on behalf of the defense.
+    pub victim_refreshes_performed: u64,
+    /// Auto-refresh (REF) commands issued.
+    pub auto_refreshes: u64,
+    /// Activations whose issue was delayed at least once because the
+    /// defense reported them unsafe.
+    pub activations_delayed_by_defense: u64,
+    /// Sum of read-request latencies (arrival to data return), in cycles.
+    pub total_read_latency: Cycle,
+    /// Per-thread completed reads.
+    pub reads_per_thread: HashMap<usize, u64>,
+    /// Per-thread total read latency.
+    pub read_latency_per_thread: HashMap<usize, Cycle>,
+}
+
+impl CtrlStats {
+    /// Records a completed demand read for `thread` with the given latency.
+    pub fn record_read_completion(&mut self, thread: ThreadId, latency: Cycle) {
+        self.reads_completed += 1;
+        self.total_read_latency += latency;
+        *self.reads_per_thread.entry(thread.index()).or_insert(0) += 1;
+        *self
+            .read_latency_per_thread
+            .entry(thread.index())
+            .or_insert(0) += latency;
+    }
+
+    /// Average read latency in cycles (0 if no reads completed).
+    pub fn average_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all column commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_completion_updates_per_thread_counters() {
+        let mut s = CtrlStats::default();
+        s.record_read_completion(ThreadId::new(2), 100);
+        s.record_read_completion(ThreadId::new(2), 300);
+        s.record_read_completion(ThreadId::new(5), 50);
+        assert_eq!(s.reads_completed, 3);
+        assert_eq!(s.reads_per_thread[&2], 2);
+        assert_eq!(s.read_latency_per_thread[&2], 400);
+        assert!((s.average_read_latency() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed_cases() {
+        let mut s = CtrlStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        s.row_hits = 3;
+        s.row_misses = 1;
+        s.row_conflicts = 0;
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

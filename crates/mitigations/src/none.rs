@@ -1,0 +1,60 @@
+//! The unprotected baseline: no RowHammer mitigation at all.
+
+use crate::defense::{DefenseStats, MetadataFootprint, RowHammerDefense};
+use bh_types::{Cycle, DramAddress, ThreadId};
+
+/// A defense that does nothing. Used as the normalization baseline for
+/// every performance and energy figure in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct NoMitigation {
+    stats: DefenseStats,
+}
+
+impl NoMitigation {
+    /// Creates the no-op defense.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RowHammerDefense for NoMitigation {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn on_activation(
+        &mut self,
+        _now: Cycle,
+        _thread: ThreadId,
+        _addr: &DramAddress,
+    ) -> Vec<DramAddress> {
+        self.stats.record_activation();
+        Vec::new()
+    }
+
+    fn metadata(&self) -> MetadataFootprint {
+        MetadataFootprint::default()
+    }
+
+    fn stats(&self) -> DefenseStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_refreshes_never_blocks() {
+        let mut d = NoMitigation::new();
+        let addr = DramAddress::new(0, 0, 0, 0, 10, 0);
+        for i in 0..1000 {
+            assert!(d.is_activation_safe(i, ThreadId::new(0), &addr));
+            assert!(d.on_activation(i, ThreadId::new(0), &addr).is_empty());
+        }
+        assert_eq!(d.stats().observed_activations, 1000);
+        assert_eq!(d.stats().victim_refreshes, 0);
+        assert_eq!(d.metadata().total_kib(), 0.0);
+    }
+}

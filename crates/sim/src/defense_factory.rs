@@ -1,0 +1,148 @@
+//! Construction of defenses by name, shared by every experiment driver.
+
+use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
+use mitigations::{
+    Cbt, DefenseGeometry, Graphene, MrLoc, NoMitigation, Para, ProHit, RowHammerDefense,
+    RowHammerThreshold, TwiCe,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reliability target used to tune the probabilistic mechanisms (PARA,
+/// MRLoc), as in the paper: a failure probability of 1e-15 per refresh
+/// window.
+const TARGET_FAILURE: f64 = 1e-15;
+
+/// The RowHammer defenses evaluated by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefenseKind {
+    /// No mitigation (the normalization baseline).
+    Baseline,
+    /// PARA (probabilistic adjacent row activation).
+    Para,
+    /// PRoHIT (probabilistic hot/cold history table).
+    ProHit,
+    /// MRLoc (locality-aware probabilistic refresh).
+    MrLoc,
+    /// CBT (counter-based tree).
+    Cbt,
+    /// TWiCe (pruned per-row counter table).
+    TwiCe,
+    /// Graphene (Misra–Gries frequent-element counters).
+    Graphene,
+    /// BlockHammer in full-functional mode (the paper's contribution).
+    BlockHammer,
+    /// BlockHammer in observe-only mode (tracks RHLI without interfering).
+    BlockHammerObserve,
+}
+
+impl DefenseKind {
+    /// Every defense compared in Figures 4 and 5, in the paper's order.
+    pub fn figure_4_and_5_set() -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::Para,
+            DefenseKind::ProHit,
+            DefenseKind::MrLoc,
+            DefenseKind::Cbt,
+            DefenseKind::TwiCe,
+            DefenseKind::Graphene,
+            DefenseKind::BlockHammer,
+        ]
+    }
+
+    /// The subset the paper scales down to `N_RH` = 1K in Figure 6.
+    pub fn figure_6_set() -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::Para,
+            DefenseKind::TwiCe,
+            DefenseKind::Graphene,
+            DefenseKind::BlockHammer,
+        ]
+    }
+
+    /// Short display name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::Baseline => "Baseline",
+            DefenseKind::Para => "PARA",
+            DefenseKind::ProHit => "PRoHIT",
+            DefenseKind::MrLoc => "MRLoc",
+            DefenseKind::Cbt => "CBT",
+            DefenseKind::TwiCe => "TWiCe",
+            DefenseKind::Graphene => "Graphene",
+            DefenseKind::BlockHammer => "BlockHammer",
+            DefenseKind::BlockHammerObserve => "BlockHammer(observe)",
+        }
+    }
+
+    /// Builds the defense for the given RowHammer threshold and geometry.
+    ///
+    /// `t_refi_cycles` paces the mechanisms that piggyback on refresh
+    /// operations (PRoHIT's table service, TWiCe's pruning).
+    pub fn build(
+        &self,
+        n_rh: RowHammerThreshold,
+        geometry: DefenseGeometry,
+        t_refi_cycles: u64,
+        seed: u64,
+    ) -> Box<dyn RowHammerDefense> {
+        match self {
+            DefenseKind::Baseline => Box::new(NoMitigation::new()),
+            DefenseKind::Para => Box::new(Para::new(n_rh, TARGET_FAILURE, geometry, seed)),
+            DefenseKind::ProHit => Box::new(ProHit::new(geometry, t_refi_cycles, seed)),
+            DefenseKind::MrLoc => Box::new(MrLoc::new(n_rh, TARGET_FAILURE, geometry, seed)),
+            DefenseKind::Cbt => Box::new(Cbt::new(n_rh, geometry)),
+            DefenseKind::TwiCe => Box::new(TwiCe::new(n_rh, t_refi_cycles, geometry)),
+            DefenseKind::Graphene => Box::new(Graphene::new(n_rh, geometry)),
+            DefenseKind::BlockHammer => {
+                let config = BlockHammerConfig::for_rowhammer_threshold(n_rh, &geometry);
+                Box::new(BlockHammer::new(
+                    config,
+                    geometry,
+                    OperatingMode::FullFunctional,
+                ))
+            }
+            DefenseKind::BlockHammerObserve => {
+                let config = BlockHammerConfig::for_rowhammer_threshold(n_rh, &geometry);
+                Box::new(BlockHammer::new(config, geometry, OperatingMode::ObserveOnly))
+            }
+        }
+    }
+}
+
+impl fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_a_defense_with_its_label() {
+        let geometry = DefenseGeometry::default();
+        for kind in [
+            DefenseKind::Baseline,
+            DefenseKind::Para,
+            DefenseKind::ProHit,
+            DefenseKind::MrLoc,
+            DefenseKind::Cbt,
+            DefenseKind::TwiCe,
+            DefenseKind::Graphene,
+            DefenseKind::BlockHammer,
+            DefenseKind::BlockHammerObserve,
+        ] {
+            let defense = kind.build(RowHammerThreshold::new(32_768), geometry, 24_960, 1);
+            assert!(!defense.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn evaluation_sets_match_the_paper() {
+        assert_eq!(DefenseKind::figure_4_and_5_set().len(), 7);
+        assert_eq!(DefenseKind::figure_6_set().len(), 4);
+        assert!(DefenseKind::figure_6_set().contains(&DefenseKind::BlockHammer));
+    }
+}

@@ -1,0 +1,486 @@
+//! Experiment drivers that regenerate the paper's figures and tables.
+//!
+//! Every driver takes an [`ExperimentScale`] so the same code can run as a
+//! fast smoke test (`ExperimentScale::quick`), at the default bench size
+//! (`ExperimentScale::standard`), or at larger scales from the bench
+//! binaries. The scaled-time substitution is described in DESIGN.md §5.
+
+use crate::defense_factory::DefenseKind;
+use crate::metrics::{average_metrics, MultiProgramMetrics, RunResult};
+use crate::system::SystemBuilder;
+use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
+use mitigations::RowHammerThreshold;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use workloads::{benign_catalog, WorkloadCategory, WorkloadMix, WorkloadSpec};
+
+/// Knobs controlling how large an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Time-scaling factor applied to the refresh window and thresholds.
+    pub time_scale: u64,
+    /// Instructions each benign thread executes.
+    pub benign_instructions: u64,
+    /// Number of workload mixes per scenario.
+    pub mix_count: usize,
+    /// Threads per multiprogrammed mix (the paper uses 8).
+    pub threads_per_mix: usize,
+    /// Benign workloads evaluated per category in single-core studies.
+    pub workloads_per_category: usize,
+    /// LLC capacity in bytes (shrunk together with the instruction budget
+    /// so cacheable workloads stay memory-bound, as they are at full scale).
+    pub llc_bytes: u64,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// A smoke-test scale suitable for unit/integration tests (seconds).
+    pub fn quick() -> Self {
+        Self {
+            time_scale: 8192,
+            benign_instructions: 5_000,
+            mix_count: 1,
+            threads_per_mix: 4,
+            workloads_per_category: 1,
+            llc_bytes: 1 << 20,
+            seed: 7,
+        }
+    }
+
+    /// The default scale used by the bench harness binaries (minutes).
+    pub fn standard() -> Self {
+        Self {
+            time_scale: 1024,
+            benign_instructions: 100_000,
+            mix_count: 3,
+            threads_per_mix: 8,
+            workloads_per_category: 2,
+            llc_bytes: 4 << 20,
+            seed: 7,
+        }
+    }
+
+    fn builder(&self) -> SystemBuilder {
+        // Run for at least two scaled refresh windows so every defense's
+        // slow dynamics (blacklist expiry, RHLI accumulation) are exercised.
+        let scaled_refresh_window = 204_800_000 / self.time_scale;
+        SystemBuilder::new()
+            .time_scale(self.time_scale)
+            .llc_capacity(self.llc_bytes)
+            .seed(self.seed)
+            .max_cycles(200_000_000)
+            .min_cycles(2 * scaled_refresh_window)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: single-core execution time and DRAM energy.
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 4: a defense's normalized execution time and DRAM
+/// energy for one workload category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4Row {
+    /// Defense name.
+    pub defense: String,
+    /// Workload category (L / M / H).
+    pub category: String,
+    /// Execution time normalized to the no-mitigation baseline.
+    pub normalized_execution_time: f64,
+    /// DRAM energy normalized to the no-mitigation baseline.
+    pub normalized_dram_energy: f64,
+}
+
+fn category_representatives(scale: &ExperimentScale) -> Vec<WorkloadSpec> {
+    let catalog = benign_catalog();
+    let mut picked = Vec::new();
+    for category in [
+        WorkloadCategory::Low,
+        WorkloadCategory::Medium,
+        WorkloadCategory::High,
+    ] {
+        picked.extend(
+            catalog
+                .iter()
+                .filter(|w| w.category() == category && !w.synthetic.bypass_cache)
+                .take(scale.workloads_per_category)
+                .cloned(),
+        );
+    }
+    picked
+}
+
+/// Runs the Figure 4 experiment: single-core benign applications under
+/// every mechanism, normalized to the no-mitigation baseline.
+pub fn figure4(scale: &ExperimentScale, paper_n_rh: u64) -> Vec<Figure4Row> {
+    let representatives = category_representatives(scale);
+    let mut rows = Vec::new();
+    for kind in DefenseKind::figure_4_and_5_set() {
+        let mut per_category: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        for workload in &representatives {
+            let baseline = scale
+                .builder()
+                .defense(DefenseKind::Baseline)
+                .rowhammer_threshold(paper_n_rh)
+                .add_workload(workload.synthetic.clone(), scale.benign_instructions)
+                .run();
+            let protected = scale
+                .builder()
+                .defense(kind)
+                .rowhammer_threshold(paper_n_rh)
+                .add_workload(workload.synthetic.clone(), scale.benign_instructions)
+                .run();
+            let time_ratio =
+                protected.threads[0].cycles as f64 / baseline.threads[0].cycles as f64;
+            let energy_ratio =
+                protected.dram_energy_joules() / baseline.dram_energy_joules().max(1e-18);
+            per_category
+                .entry(workload.category().to_string())
+                .or_default()
+                .push((time_ratio, energy_ratio));
+        }
+        for (category, samples) in per_category {
+            let n = samples.len() as f64;
+            rows.push(Figure4Row {
+                defense: kind.label().to_owned(),
+                category,
+                normalized_execution_time: samples.iter().map(|s| s.0).sum::<f64>() / n,
+                normalized_dram_energy: samples.iter().map(|s| s.1).sum::<f64>() / n,
+            });
+        }
+    }
+    rows.sort_by(|a, b| (a.category.clone(), a.defense.clone()).cmp(&(b.category.clone(), b.defense.clone())));
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: 8-core multiprogrammed workloads, with and without an attacker.
+// Figure 6: the same study swept over the RowHammer threshold.
+// ---------------------------------------------------------------------------
+
+/// One point of Figures 5/6: a defense's normalized multiprogrammed metrics
+/// for one scenario (and threshold).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiProgramRow {
+    /// Defense name.
+    pub defense: String,
+    /// `"no-attack"` or `"attack"`.
+    pub scenario: String,
+    /// Full-scale RowHammer threshold this point was configured for.
+    pub n_rh: u64,
+    /// Metrics normalized to the no-mitigation baseline (weighted speedup,
+    /// harmonic speedup, maximum slowdown, DRAM energy).
+    pub normalized: MultiProgramMetrics,
+}
+
+/// Runs one mix under one defense and returns the run plus the benign
+/// threads' stand-alone IPCs (measured on the unprotected baseline).
+fn run_mix(
+    scale: &ExperimentScale,
+    mix: &WorkloadMix,
+    kind: DefenseKind,
+    paper_n_rh: u64,
+    alone_cache: &mut HashMap<String, f64>,
+) -> (RunResult, Vec<f64>) {
+    let mut builder = scale
+        .builder()
+        .defense(kind)
+        .rowhammer_threshold(paper_n_rh)
+        .seed(scale.seed ^ mix.seed);
+    if mix.has_attacker() {
+        builder = builder.add_attacker();
+    }
+    for workload in &mix.benign {
+        builder = builder.add_workload(workload.synthetic.clone(), scale.benign_instructions);
+    }
+    let result = builder.run();
+    let alone: Vec<f64> = mix
+        .benign
+        .iter()
+        .map(|workload| {
+            let key = workload.name().to_owned();
+            *alone_cache.entry(key).or_insert_with(|| {
+                scale
+                    .builder()
+                    .defense(DefenseKind::Baseline)
+                    .rowhammer_threshold(paper_n_rh)
+                    .add_workload(workload.synthetic.clone(), scale.benign_instructions)
+                    .run()
+                    .threads[0]
+                    .ipc
+            })
+        })
+        .collect();
+    (result, alone)
+}
+
+/// Runs the Figure 5 experiment for one RowHammer threshold: normalized
+/// weighted/harmonic speedup, maximum slowdown and DRAM energy for every
+/// defense, for benign-only and attack-present mixes.
+pub fn figure5(scale: &ExperimentScale, paper_n_rh: u64) -> Vec<MultiProgramRow> {
+    multiprogram_study(scale, paper_n_rh, &DefenseKind::figure_4_and_5_set())
+}
+
+/// Runs the Figure 6 experiment: the multiprogrammed study swept across
+/// RowHammer thresholds for the four scalable mechanisms.
+pub fn figure6(scale: &ExperimentScale, thresholds: &[u64]) -> Vec<MultiProgramRow> {
+    let mut rows = Vec::new();
+    for &n_rh in thresholds {
+        rows.extend(multiprogram_study(scale, n_rh, &DefenseKind::figure_6_set()));
+    }
+    rows
+}
+
+fn multiprogram_study(
+    scale: &ExperimentScale,
+    paper_n_rh: u64,
+    defenses: &[DefenseKind],
+) -> Vec<MultiProgramRow> {
+    let (benign_mixes, attack_mixes) =
+        WorkloadMix::evaluation_suites(scale.mix_count, scale.threads_per_mix, scale.seed);
+    let mut alone_cache: HashMap<String, f64> = HashMap::new();
+    let mut rows = Vec::new();
+    for (scenario, mixes) in [("no-attack", &benign_mixes), ("attack", &attack_mixes)] {
+        // Baseline metrics per mix (the normalization denominator).
+        let baseline_metrics: Vec<MultiProgramMetrics> = mixes
+            .iter()
+            .map(|mix| {
+                let (run, alone) =
+                    run_mix(scale, mix, DefenseKind::Baseline, paper_n_rh, &mut alone_cache);
+                MultiProgramMetrics::compute(&run, &alone)
+            })
+            .collect();
+        for &kind in defenses {
+            let normalized: Vec<MultiProgramMetrics> = mixes
+                .iter()
+                .zip(&baseline_metrics)
+                .map(|(mix, baseline)| {
+                    let (run, alone) = run_mix(scale, mix, kind, paper_n_rh, &mut alone_cache);
+                    MultiProgramMetrics::compute(&run, &alone).normalized_to(baseline)
+                })
+                .collect();
+            rows.push(MultiProgramRow {
+                defense: kind.label().to_owned(),
+                scenario: scenario.to_owned(),
+                n_rh: paper_n_rh,
+                normalized: average_metrics(&normalized),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.2.1: RHLI of benign and attacker threads.
+// ---------------------------------------------------------------------------
+
+/// Result of the RHLI study (Section 3.2.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RhliStudy {
+    /// Attacker RHLI in observe-only mode (the paper reports ~6.9-15.5).
+    pub observe_attacker_rhli: f64,
+    /// Largest benign-thread RHLI in observe-only mode (the paper: 0).
+    pub observe_benign_rhli: f64,
+    /// Attacker RHLI in full-functional mode (the paper: below 1).
+    pub full_attacker_rhli: f64,
+    /// Ratio between the two attacker values (the paper reports ~54x).
+    pub reduction_factor: f64,
+}
+
+/// Runs the RHLI study: one attack mix under BlockHammer in observe-only
+/// and full-functional modes.
+pub fn rhli_study(scale: &ExperimentScale, paper_n_rh: u64) -> RhliStudy {
+    let mix = WorkloadMix::with_attacker(0, scale.threads_per_mix, scale.seed);
+    let mut alone_cache = HashMap::new();
+    let (observe, _) = run_mix(
+        scale,
+        &mix,
+        DefenseKind::BlockHammerObserve,
+        paper_n_rh,
+        &mut alone_cache,
+    );
+    let (full, _) = run_mix(
+        scale,
+        &mix,
+        DefenseKind::BlockHammer,
+        paper_n_rh,
+        &mut alone_cache,
+    );
+    let observe_attacker = observe.attacker().map(|t| t.max_rhli).unwrap_or(0.0);
+    let observe_benign = observe
+        .benign_threads()
+        .map(|t| t.max_rhli)
+        .fold(0.0, f64::max);
+    let full_attacker = full.attacker().map(|t| t.max_rhli).unwrap_or(0.0);
+    RhliStudy {
+        observe_attacker_rhli: observe_attacker,
+        observe_benign_rhli: observe_benign,
+        full_attacker_rhli: full_attacker,
+        reduction_factor: observe_attacker / full_attacker.max(1e-9),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 8.4: false positive rate and delay penalty distribution.
+// ---------------------------------------------------------------------------
+
+/// Result of the false-positive study (Section 8.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FalsePositiveStudy {
+    /// Fraction of activations delayed although their row had not truly
+    /// crossed the blacklisting threshold (the paper: ~0.010%-0.012%).
+    pub false_positive_rate: f64,
+    /// 50th percentile of the delay penalty, in microseconds.
+    pub delay_p50_us: f64,
+    /// 90th percentile of the delay penalty, in microseconds.
+    pub delay_p90_us: f64,
+    /// Maximum observed delay penalty, in microseconds.
+    pub delay_p100_us: f64,
+    /// The theoretical worst case `tDelay` for this configuration, in
+    /// microseconds.
+    pub t_delay_us: f64,
+}
+
+/// Runs the false-positive study: a multiprogrammed mix with an attacker
+/// under BlockHammer with exact shadow tracking enabled.
+pub fn false_positive_study(scale: &ExperimentScale, paper_n_rh: u64) -> FalsePositiveStudy {
+    let mix = WorkloadMix::with_attacker(0, scale.threads_per_mix, scale.seed);
+    let mut builder = scale
+        .builder()
+        .defense(DefenseKind::BlockHammer)
+        .rowhammer_threshold(paper_n_rh)
+        .add_attacker();
+    for workload in &mix.benign {
+        builder = builder.add_workload(workload.synthetic.clone(), scale.benign_instructions);
+    }
+    let geometry = builder.geometry_preview();
+    let n_rh_effective = builder.effective_n_rh();
+    let config = BlockHammerConfig::for_rowhammer_threshold(
+        RowHammerThreshold::new(n_rh_effective),
+        &geometry,
+    );
+    let mut defense = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
+    defense.enable_false_positive_tracking();
+    let clock_hz = 3.2e9;
+    let (system, _) = builder.build();
+    let result = system.run(&mut defense);
+    let stats = defense.blockhammer_stats();
+    let to_us = |cycles: u64| cycles as f64 / clock_hz * 1e6;
+    FalsePositiveStudy {
+        false_positive_rate: stats
+            .false_positive_rate(result.defense_stats.observed_activations.max(1)),
+        delay_p50_us: to_us(stats.delay_percentile(50.0)),
+        delay_p90_us: to_us(stats.delay_percentile(90.0)),
+        delay_p100_us: to_us(stats.delay_percentile(100.0)),
+        t_delay_us: config.t_delay_us(clock_hz),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 8: workload characterization (MPKI / RBCPKI).
+// ---------------------------------------------------------------------------
+
+/// One row of the Table 8 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8Row {
+    /// Workload name.
+    pub name: String,
+    /// Category (L / M / H).
+    pub category: String,
+    /// MPKI the paper reports for the original application (if any).
+    pub paper_mpki: Option<f64>,
+    /// RBCPKI the paper reports for the original application.
+    pub paper_rbcpki: f64,
+    /// Measured main-memory accesses per kilo-instruction in our
+    /// simulation (LLC misses for cacheable workloads, direct accesses for
+    /// cache-bypassing ones).
+    pub measured_mpki: f64,
+    /// Measured row-buffer conflicts per kilo-instruction.
+    pub measured_rbcpki: f64,
+}
+
+/// Characterizes every catalog workload on the unprotected single-core
+/// system, reproducing the structure of Table 8.
+pub fn table8(scale: &ExperimentScale) -> Vec<Table8Row> {
+    benign_catalog()
+        .into_iter()
+        .map(|workload| {
+            let run = scale
+                .builder()
+                .defense(DefenseKind::Baseline)
+                .add_workload(workload.synthetic.clone(), scale.benign_instructions)
+                .run();
+            let kilo_insts = run.threads[0].instructions as f64 / 1_000.0;
+            let memory_accesses = if workload.synthetic.bypass_cache {
+                run.threads[0].memory_requests
+            } else {
+                run.llc_misses
+            };
+            Table8Row {
+                name: workload.name().to_owned(),
+                category: workload.category().to_string(),
+                paper_mpki: workload.paper_mpki,
+                paper_rbcpki: workload.paper_rbcpki,
+                measured_mpki: memory_accesses as f64 / kilo_insts.max(1e-9),
+                measured_rbcpki: run.ctrl.row_conflicts as f64 / kilo_insts.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_standard() {
+        let q = ExperimentScale::quick();
+        let s = ExperimentScale::standard();
+        assert!(q.benign_instructions < s.benign_instructions);
+        assert!(q.mix_count <= s.mix_count);
+    }
+
+    #[test]
+    fn rhli_study_distinguishes_attacker_from_benign() {
+        let study = rhli_study(&ExperimentScale::quick(), 32_768);
+        assert!(
+            study.observe_attacker_rhli > 1.0,
+            "observe-only attacker RHLI = {}, expected > 1",
+            study.observe_attacker_rhli
+        );
+        assert!(study.observe_benign_rhli < 0.5);
+        assert!(
+            study.full_attacker_rhli < study.observe_attacker_rhli,
+            "full-functional mode must reduce the attacker's RHLI \
+             (observe {}, full {})",
+            study.observe_attacker_rhli,
+            study.full_attacker_rhli
+        );
+        assert!(study.reduction_factor > 1.0);
+    }
+
+    #[test]
+    fn figure4_reports_every_defense_and_category() {
+        let scale = ExperimentScale {
+            benign_instructions: 1_000,
+            ..ExperimentScale::quick()
+        };
+        let rows = figure4(&scale, 32_768);
+        assert_eq!(rows.len(), 7 * 3);
+        for row in &rows {
+            assert!(row.normalized_execution_time > 0.5);
+            assert!(row.normalized_dram_energy > 0.5);
+        }
+        // BlockHammer must not slow any benign category by more than a few
+        // percent (paper: no overhead).
+        for row in rows.iter().filter(|r| r.defense == "BlockHammer") {
+            assert!(
+                row.normalized_execution_time < 1.1,
+                "BlockHammer {} slowdown {}",
+                row.category,
+                row.normalized_execution_time
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # sim
+//!
+//! The full-system simulation harness: trace-driven cores, a shared LLC,
+//! the FR-FCFS memory controller, the DDR4 device model, the energy model
+//! and a pluggable RowHammer defense, wired together and driven cycle by
+//! cycle (the Rust counterpart of the paper's Ramulator + DRAMPower
+//! infrastructure).
+//!
+//! On top of the [`System`] runner, the [`experiments`] module provides the
+//! drivers that regenerate the paper's figures and tables (single-core
+//! Figure 4, multiprogrammed Figure 5, the `N_RH` scaling study of
+//! Figure 6, the RHLI study of Section 3.2.1, the false-positive study of
+//! Section 8.4, and the Table 8 workload characterization), and
+//! [`metrics`] computes the performance metrics the paper reports
+//! (weighted speedup, harmonic speedup, maximum slowdown, DRAM energy).
+//!
+//! ## Example
+//!
+//! ```
+//! use sim::{DefenseKind, SystemBuilder};
+//! use workloads::SyntheticSpec;
+//!
+//! // A single benign core protected by BlockHammer, scaled for a fast run.
+//! let result = SystemBuilder::new()
+//!     .time_scale(512)
+//!     .defense(DefenseKind::BlockHammer)
+//!     .add_workload(SyntheticSpec::high_intensity("demo", 0), 5_000)
+//!     .run();
+//! assert_eq!(result.threads.len(), 1);
+//! assert!(result.threads[0].ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+
+mod defense_factory;
+mod system;
+
+pub use defense_factory::DefenseKind;
+pub use metrics::{MultiProgramMetrics, RunResult, ThreadResult};
+pub use system::{System, SystemBuilder, SystemConfig};

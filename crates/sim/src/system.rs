@@ -1,0 +1,668 @@
+//! The cycle-level full-system model: cores + LLC + memory controller +
+//! DRAM + defense.
+
+use crate::defense_factory::DefenseKind;
+use crate::metrics::{RunResult, ThreadResult};
+use bh_types::{AccessType, Cycle, ReqId, ThreadId, TraceRecord};
+use cpu::{Core, CoreConfig, MemorySink};
+use energy::{Ddr4PowerSpec, DramEnergyModel};
+use llc::{AccessResult, Llc, LlcConfig};
+use memctrl::{MemCtrlConfig, MemoryController};
+use mitigations::{DefenseGeometry, RowHammerDefense, RowHammerThreshold};
+use workloads::{AttackSpec, DoubleSidedAttack, SyntheticSpec};
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A boxed trace iterator, the form in which workloads are fed to cores.
+pub type BoxedTrace = Box<dyn Iterator<Item = TraceRecord>>;
+
+/// Static configuration of a simulated system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Memory controller (and DRAM) configuration.
+    pub memctrl: MemCtrlConfig,
+    /// Last-level cache configuration.
+    pub llc: LlcConfig,
+    /// Per-core configuration.
+    pub core: CoreConfig,
+    /// RowHammer threshold the defense is configured for (already in the
+    /// simulation's time scale).
+    pub n_rh: u64,
+    /// Time-scaling factor that was applied (1 = full scale); recorded for
+    /// reporting.
+    pub time_scale: u64,
+    /// Safety bound on simulated cycles.
+    pub max_cycles: Cycle,
+    /// Minimum number of cycles to simulate even if every benign thread has
+    /// finished (used so defenses are observed across at least a couple of
+    /// refresh windows; the attacker keeps running in the meantime).
+    pub min_cycles: Cycle,
+    /// Whether to record every DRAM activation (needed by safety
+    /// verification; costs memory).
+    pub enable_activation_log: bool,
+    /// Seed for workload generators and probabilistic defenses.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            memctrl: MemCtrlConfig::default(),
+            llc: LlcConfig::default(),
+            core: CoreConfig::default(),
+            n_rh: 32_768,
+            time_scale: 1,
+            max_cycles: 2_000_000_000,
+            min_cycles: 0,
+            enable_activation_log: false,
+            seed: 1,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The defense geometry implied by this configuration for `threads`
+    /// hardware threads.
+    pub fn defense_geometry(&self, threads: usize) -> DefenseGeometry {
+        let org = &self.memctrl.organization;
+        let timings = self.memctrl.timings.into_cycles(&self.memctrl.clock);
+        DefenseGeometry {
+            ranks_per_channel: org.ranks,
+            bank_groups_per_rank: org.bank_groups,
+            banks_per_group: org.banks_per_group,
+            total_banks: org.total_banks(),
+            rows_per_bank: org.rows_per_bank,
+            threads: threads.max(1),
+            refresh_window_cycles: timings.t_refw,
+            t_rc_cycles: timings.t_rc,
+            t_faw_cycles: timings.t_faw,
+        }
+    }
+
+    /// tREFI in simulation cycles (used to pace some baselines).
+    pub fn t_refi_cycles(&self) -> Cycle {
+        self.memctrl.timings.into_cycles(&self.memctrl.clock).t_refi
+    }
+}
+
+/// Everything except the cores (split out so a core and the rest of the
+/// system can be borrowed mutably at the same time).
+struct Uncore {
+    llc: Llc,
+    ctrl: MemoryController,
+    /// Waiters per outstanding LLC line fetch: line address -> (core, token).
+    line_waiters: HashMap<u64, Vec<(usize, u64)>>,
+    /// Waiters per cache-bypassing read: request id -> (core, token).
+    direct_waiters: HashMap<ReqId, (usize, u64)>,
+    /// LLC hits completing after the hit latency: (ready, core, token).
+    hit_queue: VecDeque<(Cycle, usize, u64)>,
+    /// Line fetches that could not yet be accepted by the controller.
+    fetch_queue: VecDeque<(ThreadId, u64)>,
+    /// Dirty writebacks that could not yet be accepted by the controller.
+    writeback_queue: VecDeque<(ThreadId, u64)>,
+    /// Lines that must be marked dirty when their fill arrives
+    /// (write-allocate stores).
+    dirty_on_fill: HashSet<u64>,
+    /// Outstanding line-fetch requests: request id -> line address.
+    line_fetch_reqs: HashMap<ReqId, u64>,
+    next_token: u64,
+    hit_latency: Cycle,
+}
+
+/// Memory-side adapter handed to a core during its tick.
+struct CoreSink<'a> {
+    uncore: &'a mut Uncore,
+    defense: &'a mut dyn RowHammerDefense,
+    core_index: usize,
+}
+
+impl MemorySink for CoreSink<'_> {
+    fn try_send(
+        &mut self,
+        thread: ThreadId,
+        address: u64,
+        is_write: bool,
+        bypass_cache: bool,
+        now: Cycle,
+    ) -> Option<u64> {
+        let uncore = &mut *self.uncore;
+        let access = if is_write {
+            AccessType::Write
+        } else {
+            AccessType::Read
+        };
+        if bypass_cache {
+            match uncore.ctrl.enqueue(thread, address, access, now, self.defense) {
+                Ok(req_id) => {
+                    uncore.next_token += 1;
+                    let token = uncore.next_token;
+                    if !is_write {
+                        uncore.direct_waiters.insert(req_id, (self.core_index, token));
+                    }
+                    Some(token)
+                }
+                Err(_) => None,
+            }
+        } else {
+            match uncore.llc.access(thread, address, is_write) {
+                AccessResult::Hit => {
+                    uncore.next_token += 1;
+                    let token = uncore.next_token;
+                    uncore
+                        .hit_queue
+                        .push_back((now + uncore.hit_latency, self.core_index, token));
+                    Some(token)
+                }
+                AccessResult::MissAllocated | AccessResult::MissMerged => {
+                    let line = uncore.llc.line_of(address);
+                    uncore.next_token += 1;
+                    let token = uncore.next_token;
+                    if !is_write {
+                        uncore
+                            .line_waiters
+                            .entry(line)
+                            .or_default()
+                            .push((self.core_index, token));
+                    } else {
+                        uncore.dirty_on_fill.insert(line);
+                    }
+                    if uncore.llc.is_miss_pending(address)
+                        && !uncore.line_fetch_reqs.values().any(|&l| l == line)
+                        && !uncore.fetch_queue.iter().any(|&(_, l)| l == line)
+                    {
+                        uncore.fetch_queue.push_back((thread, line));
+                    }
+                    Some(token)
+                }
+                AccessResult::MshrFull => None,
+            }
+        }
+    }
+}
+
+/// A fully assembled simulated system.
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<Core<BoxedTrace>>,
+    core_names: Vec<String>,
+    core_is_attacker: Vec<bool>,
+    uncore: Uncore,
+}
+
+impl System {
+    /// Creates a system running the given per-thread traces. Thread `i`
+    /// runs `traces[i]`; `is_attacker[i]` marks threads excluded from the
+    /// run-completion criterion (they run until the benign threads finish).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no traces are supplied or the configuration is invalid.
+    pub fn new(
+        config: SystemConfig,
+        traces: Vec<(String, BoxedTrace, bool, u64)>,
+    ) -> Self {
+        assert!(!traces.is_empty(), "a system needs at least one thread");
+        let mut ctrl = MemoryController::new(config.memctrl.clone());
+        if config.enable_activation_log {
+            ctrl.enable_activation_log();
+        }
+        let llc = Llc::new(config.llc);
+        let hit_latency = config.llc.hit_latency;
+        let mut cores = Vec::new();
+        let mut core_names = Vec::new();
+        let mut core_is_attacker = Vec::new();
+        for (index, (name, trace, is_attacker, instruction_limit)) in
+            traces.into_iter().enumerate()
+        {
+            let core_config = CoreConfig {
+                instruction_limit,
+                ..config.core
+            };
+            cores.push(Core::new(ThreadId::new(index), core_config, trace));
+            core_names.push(name);
+            core_is_attacker.push(is_attacker);
+        }
+        Self {
+            config,
+            cores,
+            core_names,
+            core_is_attacker,
+            uncore: Uncore {
+                llc,
+                ctrl,
+                line_waiters: HashMap::new(),
+                direct_waiters: HashMap::new(),
+                hit_queue: VecDeque::new(),
+                fetch_queue: VecDeque::new(),
+                writeback_queue: VecDeque::new(),
+                dirty_on_fill: HashSet::new(),
+                line_fetch_reqs: HashMap::new(),
+                next_token: 0,
+                hit_latency,
+            },
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of hardware threads.
+    pub fn thread_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn tick(&mut self, now: Cycle, defense: &mut dyn RowHammerDefense) {
+        let uncore = &mut self.uncore;
+        // 1. Memory controller: issue commands, collect completions.
+        for completed in uncore.ctrl.tick(now, defense) {
+            if completed.request.is_victim_refresh() || completed.request.access.is_write() {
+                continue;
+            }
+            if let Some(line) = uncore.line_fetch_reqs.remove(&completed.request.id) {
+                let fill = uncore.llc.fill(line);
+                if uncore.dirty_on_fill.remove(&line) {
+                    // Re-apply the write-allocated store so the line is dirty.
+                    let _ = uncore.llc.access(completed.request.thread, line, true);
+                }
+                if let Some(writeback) = fill.writeback {
+                    uncore
+                        .writeback_queue
+                        .push_back((completed.request.thread, writeback));
+                }
+                if let Some(waiters) = uncore.line_waiters.remove(&line) {
+                    for (core_index, token) in waiters {
+                        self.cores[core_index].on_memory_complete(token);
+                    }
+                }
+            } else if let Some((core_index, token)) =
+                uncore.direct_waiters.remove(&completed.request.id)
+            {
+                self.cores[core_index].on_memory_complete(token);
+            }
+        }
+        // 2. LLC hits that became ready.
+        while let Some(&(ready, core_index, token)) = uncore.hit_queue.front() {
+            if ready > now {
+                break;
+            }
+            uncore.hit_queue.pop_front();
+            self.cores[core_index].on_memory_complete(token);
+        }
+        // 3. Retry pending line fetches and writebacks.
+        while let Some(&(thread, line)) = uncore.fetch_queue.front() {
+            match uncore
+                .ctrl
+                .enqueue(thread, line, AccessType::Read, now, defense)
+            {
+                Ok(req_id) => {
+                    uncore.line_fetch_reqs.insert(req_id, line);
+                    uncore.fetch_queue.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+        while let Some(&(thread, addr)) = uncore.writeback_queue.front() {
+            match uncore
+                .ctrl
+                .enqueue(thread, addr, AccessType::Write, now, defense)
+            {
+                Ok(_) => {
+                    uncore.writeback_queue.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+        // 4. Cores issue and retire.
+        for (core_index, core) in self.cores.iter_mut().enumerate() {
+            let mut sink = CoreSink {
+                uncore,
+                defense,
+                core_index,
+            };
+            core.tick(now, &mut sink);
+        }
+    }
+
+    /// Runs the system to completion (every non-attacker thread reaches its
+    /// instruction limit) or to the configured cycle bound, and returns the
+    /// collected results.
+    pub fn run(mut self, defense: &mut dyn RowHammerDefense) -> RunResult {
+        let mut now: Cycle = 0;
+        let mut finish_cycle: Vec<Option<Cycle>> = vec![None; self.cores.len()];
+        loop {
+            self.tick(now, defense);
+            let mut all_done = true;
+            for (index, core) in self.cores.iter().enumerate() {
+                if core.is_finished() {
+                    finish_cycle[index].get_or_insert(now);
+                } else if !self.core_is_attacker[index] {
+                    all_done = false;
+                }
+            }
+            if (all_done && now >= self.config.min_cycles) || now >= self.config.max_cycles {
+                break;
+            }
+            now += 1;
+        }
+        let end = now.max(1);
+        let (dram_stats, ctrl_stats) = self.uncore.ctrl.finish(end);
+        let clock_hz = self.config.memctrl.clock.frequency_hz();
+        let energy_model = DramEnergyModel::new(Ddr4PowerSpec::micron_8gb_x8(), clock_hz);
+        let energy = energy_model.breakdown(&dram_stats);
+        let total_banks = self.config.memctrl.organization.total_banks();
+        let threads = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(index, core)| {
+                let cycles = finish_cycle[index].unwrap_or(end).max(1);
+                let instructions = core.retired_instructions();
+                let rhli = (0..total_banks)
+                    .map(|bank| defense.rhli(ThreadId::new(index), bank))
+                    .fold(0.0, f64::max);
+                ThreadResult {
+                    thread: index,
+                    name: self.core_names[index].clone(),
+                    is_attacker: self.core_is_attacker[index],
+                    instructions,
+                    cycles,
+                    ipc: instructions as f64 / cycles as f64,
+                    max_rhli: rhli,
+                    memory_requests: core.stats().memory_requests,
+                }
+            })
+            .collect();
+        RunResult {
+            defense: defense.name().to_owned(),
+            n_rh: self.config.n_rh,
+            time_scale: self.config.time_scale,
+            total_cycles: end,
+            threads,
+            dram: dram_stats,
+            ctrl: ctrl_stats,
+            llc_hits: self.uncore.llc.stats().hits,
+            llc_misses: self.uncore.llc.stats().misses,
+            energy,
+            defense_stats: defense.stats(),
+        }
+    }
+}
+
+/// Convenience builder assembling a [`System`] from workload specs, an
+/// optional attacker, a defense kind and scaling options.
+pub struct SystemBuilder {
+    config: SystemConfig,
+    defense: DefenseKind,
+    paper_n_rh: u64,
+    workloads: Vec<(SyntheticSpec, u64)>,
+    with_attacker: bool,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    /// Creates a builder with the paper's default system configuration and
+    /// no time scaling.
+    pub fn new() -> Self {
+        Self {
+            config: SystemConfig::default(),
+            defense: DefenseKind::Baseline,
+            paper_n_rh: 32_768,
+            workloads: Vec::new(),
+            with_attacker: false,
+        }
+    }
+
+    /// Applies a time-scaling factor: the refresh window and the RowHammer
+    /// threshold are both divided by `factor`, which preserves the defenses'
+    /// behaviour while making runs laptop-sized (DESIGN.md §5).
+    pub fn time_scale(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "time scale factor must be non-zero");
+        self.config.memctrl = self.config.memctrl.clone().with_time_scale(factor);
+        self.config.time_scale = factor;
+        self
+    }
+
+    /// Sets the full-scale (paper) RowHammer threshold; the effective
+    /// threshold used by the defense is scaled by the time-scale factor.
+    pub fn rowhammer_threshold(mut self, n_rh: u64) -> Self {
+        self.paper_n_rh = n_rh;
+        self
+    }
+
+    /// Selects the defense.
+    pub fn defense(mut self, kind: DefenseKind) -> Self {
+        self.defense = kind;
+        self
+    }
+
+    /// Sets the random seed (workload placement and probabilistic
+    /// defenses).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the safety bound on simulated cycles.
+    pub fn max_cycles(mut self, max_cycles: Cycle) -> Self {
+        self.config.max_cycles = max_cycles;
+        self
+    }
+
+    /// Keeps the system running for at least this many cycles even after
+    /// every benign thread has finished (so slow defense dynamics such as
+    /// RHLI accumulation are observable in short runs).
+    pub fn min_cycles(mut self, min_cycles: Cycle) -> Self {
+        self.config.min_cycles = min_cycles;
+        self
+    }
+
+    /// Enables DRAM activation logging (for safety verification).
+    pub fn activation_log(mut self) -> Self {
+        self.config.enable_activation_log = true;
+        self
+    }
+
+    /// Shrinks the LLC (useful to keep cacheable workloads memory-bound at
+    /// small instruction budgets, mirroring their full-scale behaviour).
+    pub fn llc_capacity(mut self, bytes: u64) -> Self {
+        self.config.llc.capacity_bytes = bytes;
+        self
+    }
+
+    /// Adds a benign workload running `instruction_limit` instructions.
+    pub fn add_workload(mut self, spec: SyntheticSpec, instruction_limit: u64) -> Self {
+        self.workloads.push((spec, instruction_limit));
+        self
+    }
+
+    /// Adds a double-sided RowHammer attacker as thread 0.
+    pub fn add_attacker(mut self) -> Self {
+        self.with_attacker = true;
+        self
+    }
+
+    /// The effective (scaled) RowHammer threshold the defense will use.
+    pub fn effective_n_rh(&self) -> u64 {
+        (self.paper_n_rh / self.config.time_scale).max(16)
+    }
+
+    /// The defense geometry the built system will use (for callers that
+    /// construct their own defense and run it via [`System::run`]).
+    pub fn geometry_preview(&self) -> DefenseGeometry {
+        let threads = self.workloads.len() + usize::from(self.with_attacker);
+        self.config.defense_geometry(threads.max(1))
+    }
+
+    /// Builds the system and its defense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload (and no attacker) was added.
+    pub fn build(mut self) -> (System, Box<dyn RowHammerDefense>) {
+        assert!(
+            !self.workloads.is_empty() || self.with_attacker,
+            "add at least one workload or an attacker"
+        );
+        self.config.n_rh = self.effective_n_rh();
+        let thread_count = self.workloads.len() + usize::from(self.with_attacker);
+        let geometry = self.config.defense_geometry(thread_count);
+        let defense = self.defense.build(
+            RowHammerThreshold::new(self.config.n_rh),
+            geometry,
+            self.config.t_refi_cycles(),
+            self.config.seed,
+        );
+        let organization_geometry = self.config.memctrl.organization.geometry();
+        let mapping = self.config.memctrl.mapping;
+        let mut traces: Vec<(String, BoxedTrace, bool, u64)> = Vec::new();
+        if self.with_attacker {
+            let attack = DoubleSidedAttack::new(AttackSpec::default_for(
+                mapping,
+                organization_geometry,
+            ));
+            traces.push((
+                "attacker.double_sided".to_owned(),
+                Box::new(attack),
+                true,
+                u64::MAX,
+            ));
+        }
+        // Give each benign thread a disjoint address-space slice so threads
+        // do not share cache lines or rows.
+        let slice = organization_geometry.capacity_bytes() / (thread_count as u64 + 1);
+        for (index, (spec, limit)) in self.workloads.iter().enumerate() {
+            let base = slice * (index as u64 + usize::from(self.with_attacker) as u64);
+            let relocated = spec.clone().at_base(base);
+            let seed = self.config.seed ^ ((index as u64 + 1) * 0x9E37_79B9);
+            traces.push((
+                spec.name.clone(),
+                Box::new(relocated.build(seed)),
+                false,
+                *limit,
+            ));
+        }
+        (System::new(self.config, traces), defense)
+    }
+
+    /// Builds and runs the system, returning the collected results.
+    pub fn run(self) -> RunResult {
+        let (system, mut defense) = self.build();
+        system.run(defense.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_builder() -> SystemBuilder {
+        // A heavily time-scaled system whose refresh window is ~25k cycles,
+        // run for at least two refresh windows.
+        SystemBuilder::new()
+            .time_scale(8192)
+            .max_cycles(3_000_000)
+            .min_cycles(60_000)
+            .llc_capacity(1 << 20)
+    }
+
+    #[test]
+    fn single_benign_core_completes_its_instructions() {
+        let result = quick_builder()
+            .defense(DefenseKind::Baseline)
+            .add_workload(SyntheticSpec::medium_intensity("m0", 0), 3_000)
+            .run();
+        assert_eq!(result.threads.len(), 1);
+        assert!(result.threads[0].instructions >= 3_000);
+        assert!(result.threads[0].ipc > 0.0);
+        assert!(result.dram.totals().activates > 0);
+        assert!(result.energy.total_joules() > 0.0);
+    }
+
+    #[test]
+    fn blockhammer_does_not_slow_benign_single_core_runs() {
+        let baseline = quick_builder()
+            .defense(DefenseKind::Baseline)
+            .add_workload(SyntheticSpec::high_intensity("h0", 0), 3_000)
+            .run();
+        let protected = quick_builder()
+            .defense(DefenseKind::BlockHammer)
+            .add_workload(SyntheticSpec::high_intensity("h0", 0), 3_000)
+            .run();
+        let ratio = protected.threads[0].ipc / baseline.threads[0].ipc;
+        assert!(
+            ratio > 0.95,
+            "BlockHammer slowed a benign workload by {:.1}% in a single-core run",
+            (1.0 - ratio) * 100.0
+        );
+    }
+
+    #[test]
+    fn attacker_is_throttled_by_blockhammer_but_not_by_baseline() {
+        let victim_instructions = 6_000;
+        let baseline = quick_builder()
+            .defense(DefenseKind::Baseline)
+            .add_attacker()
+            .add_workload(SyntheticSpec::high_intensity("victim", 0), victim_instructions)
+            .run();
+        let protected = quick_builder()
+            .defense(DefenseKind::BlockHammer)
+            .add_attacker()
+            .add_workload(SyntheticSpec::high_intensity("victim", 0), victim_instructions)
+            .run();
+        // The attacker's memory throughput (requests per cycle) must drop.
+        let attacker_rate = |r: &RunResult| {
+            r.threads[0].memory_requests as f64 / r.total_cycles as f64
+        };
+        assert!(
+            attacker_rate(&protected) < attacker_rate(&baseline),
+            "BlockHammer must reduce the attacker's memory throughput \
+             (baseline {:.4}/cycle, protected {:.4}/cycle)",
+            attacker_rate(&baseline),
+            attacker_rate(&protected)
+        );
+        // The benign victim must run faster when the attacker is throttled.
+        let benign_ipc = |r: &RunResult| r.threads[1].ipc;
+        assert!(
+            benign_ipc(&protected) > benign_ipc(&baseline),
+            "the benign thread must speed up under BlockHammer when attacked \
+             (baseline IPC {:.4}, protected IPC {:.4})",
+            benign_ipc(&baseline),
+            benign_ipc(&protected)
+        );
+        assert!(protected.threads[0].max_rhli > 0.0, "attacker RHLI must be non-zero");
+        assert_eq!(protected.threads[1].max_rhli, 0.0, "benign RHLI must stay zero");
+    }
+
+    #[test]
+    fn activation_log_bounds_attack_below_threshold() {
+        let result = quick_builder()
+            .defense(DefenseKind::BlockHammer)
+            .activation_log()
+            .add_attacker()
+            .add_workload(SyntheticSpec::low_intensity("l0", 0), 1_000)
+            .run();
+        let timings = result.time_scale;
+        assert_eq!(timings, 8192);
+        let t_refw = MemCtrlConfig::default()
+            .with_time_scale(8192)
+            .timings
+            .into_cycles(&bh_types::TimeConverter::default())
+            .t_refw;
+        let worst = result
+            .dram
+            .max_row_activations_in_window(t_refw)
+            .expect("activation log enabled");
+        assert!(
+            worst <= result.n_rh,
+            "a row received {worst} activations in one refresh window, above N_RH = {}",
+            result.n_rh
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! RowHammer attack trace generators.
+//!
+//! The paper's attack model (Section 7) is a synthetic double-sided attack:
+//! in every bank, two aggressor rows sandwiching a victim row are activated
+//! alternately as fast as possible (`RA, RB, RA, RB, ...`). The generators
+//! here produce exactly that access stream (plus a many-sided variant used
+//! by the extension experiments), emitting cache-bypassing reads with no
+//! intervening compute so the attacking core saturates the memory system.
+
+use bh_types::{AddressMapping, AddressMappingGeometry, DramAddress, TraceRecord};
+
+/// Parameters shared by the attack generators.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackSpec {
+    /// Address mapping used by the target system (needed to construct
+    /// physical addresses that land on chosen rows).
+    pub mapping: AddressMapping,
+    /// Geometry of the target system.
+    pub geometry: AddressMappingGeometry,
+    /// The victim row around which aggressor rows are chosen.
+    pub victim_row: u64,
+    /// Number of banks the attack cycles over (the paper hammers every
+    /// bank; restricting to one bank concentrates the attack).
+    pub banks_to_attack: usize,
+}
+
+impl AttackSpec {
+    /// An attack on every bank of the default system, hammering around row
+    /// 0x8000 (an arbitrary row in the middle of each bank).
+    pub fn default_for(mapping: AddressMapping, geometry: AddressMappingGeometry) -> Self {
+        Self {
+            mapping,
+            geometry,
+            victim_row: 0x8000,
+            banks_to_attack: geometry.total_banks(),
+        }
+    }
+}
+
+/// A double-sided RowHammer attack: alternately activates the two rows
+/// adjacent to the victim row in each attacked bank.
+#[derive(Debug, Clone)]
+pub struct DoubleSidedAttack {
+    addresses: Vec<u64>,
+    cursor: usize,
+}
+
+impl DoubleSidedAttack {
+    /// Builds the attack trace generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim row has no room for both aggressors within the
+    /// bank (i.e. it is the first or last row) or `banks_to_attack` is zero.
+    pub fn new(spec: AttackSpec) -> Self {
+        assert!(
+            spec.victim_row > 0 && spec.victim_row + 1 < spec.geometry.rows,
+            "victim row must have space for aggressors on both sides"
+        );
+        assert!(spec.banks_to_attack > 0, "must attack at least one bank");
+        let mut addresses = Vec::new();
+        let banks = spec.banks_to_attack.min(spec.geometry.total_banks());
+        // Interleave: for each bank emit the low aggressor, then for each
+        // bank the high aggressor, and repeat. Cycling over banks between
+        // consecutive activations of the same row maximizes activation
+        // throughput despite tRC, exactly like a real attacker would.
+        for aggressor_row in [spec.victim_row - 1, spec.victim_row + 1] {
+            for flat_bank in 0..banks {
+                let bank = flat_bank % spec.geometry.banks_per_group;
+                let bank_group =
+                    (flat_bank / spec.geometry.banks_per_group) % spec.geometry.bank_groups;
+                let rank = (flat_bank
+                    / (spec.geometry.banks_per_group * spec.geometry.bank_groups))
+                    % spec.geometry.ranks;
+                let addr = DramAddress::new(0, rank, bank_group, bank, aggressor_row, 0);
+                addresses.push(spec.mapping.encode(&spec.geometry, &addr));
+            }
+        }
+        Self {
+            addresses,
+            cursor: 0,
+        }
+    }
+
+    /// The distinct physical addresses the attack cycles over.
+    pub fn address_count(&self) -> usize {
+        self.addresses.len()
+    }
+}
+
+impl Iterator for DoubleSidedAttack {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let address = self.addresses[self.cursor % self.addresses.len()];
+        self.cursor += 1;
+        Some(TraceRecord::uncached_load(0, address))
+    }
+}
+
+/// A many-sided RowHammer attack: cycles over `sides` aggressor rows
+/// surrounding the victim row in each attacked bank (the access pattern
+/// TRRespass-style attacks use to defeat in-DRAM TRR).
+#[derive(Debug, Clone)]
+pub struct ManySidedAttack {
+    addresses: Vec<u64>,
+    cursor: usize,
+}
+
+impl ManySidedAttack {
+    /// Builds a many-sided attack with `sides` aggressor rows per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides` is zero or the aggressor rows would fall outside
+    /// the bank.
+    pub fn new(spec: AttackSpec, sides: u32) -> Self {
+        assert!(sides > 0, "a many-sided attack needs at least one aggressor");
+        let reach = (sides as u64).div_ceil(2);
+        assert!(
+            spec.victim_row >= reach && spec.victim_row + reach < spec.geometry.rows,
+            "victim row must have space for {sides} aggressors"
+        );
+        let mut aggressor_rows = Vec::with_capacity(sides as usize);
+        for k in 0..sides as u64 {
+            // Alternate below/above the victim: -1, +1, -2, +2, ...
+            let distance = k / 2 + 1;
+            let row = if k % 2 == 0 {
+                spec.victim_row - distance
+            } else {
+                spec.victim_row + distance
+            };
+            aggressor_rows.push(row);
+        }
+        let banks = spec.banks_to_attack.min(spec.geometry.total_banks());
+        let mut addresses = Vec::new();
+        for row in aggressor_rows {
+            for flat_bank in 0..banks {
+                let bank = flat_bank % spec.geometry.banks_per_group;
+                let bank_group =
+                    (flat_bank / spec.geometry.banks_per_group) % spec.geometry.bank_groups;
+                let rank = (flat_bank
+                    / (spec.geometry.banks_per_group * spec.geometry.bank_groups))
+                    % spec.geometry.ranks;
+                let addr = DramAddress::new(0, rank, bank_group, bank, row, 0);
+                addresses.push(spec.mapping.encode(&spec.geometry, &addr));
+            }
+        }
+        Self {
+            addresses,
+            cursor: 0,
+        }
+    }
+}
+
+impl Iterator for ManySidedAttack {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let address = self.addresses[self.cursor % self.addresses.len()];
+        self.cursor += 1;
+        Some(TraceRecord::uncached_load(0, address))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AttackSpec {
+        AttackSpec::default_for(AddressMapping::default(), AddressMappingGeometry::default())
+    }
+
+    #[test]
+    fn double_sided_alternates_between_two_rows_per_bank() {
+        let s = spec();
+        let attack = DoubleSidedAttack::new(s);
+        assert_eq!(attack.address_count(), 2 * s.geometry.total_banks());
+        let records: Vec<_> = attack.take(4 * s.geometry.total_banks()).collect();
+        let mapping = s.mapping;
+        let geometry = s.geometry;
+        for record in &records {
+            let d = mapping.decode(&geometry, record.address);
+            assert!(
+                d.row() == s.victim_row - 1 || d.row() == s.victim_row + 1,
+                "attack touched row {:#x}, not an aggressor",
+                d.row()
+            );
+            assert!(record.bypass_cache);
+            assert_eq!(record.non_memory_instructions, 0);
+        }
+        // Both aggressors of bank 0 appear within one full cycle.
+        let bank0_rows: std::collections::HashSet<u64> = records
+            .iter()
+            .map(|r| mapping.decode(&geometry, r.address))
+            .filter(|d| d.bank_group() == 0 && d.bank() == 0)
+            .map(|d| d.row())
+            .collect();
+        assert_eq!(bank0_rows.len(), 2);
+    }
+
+    #[test]
+    fn attack_covers_every_bank() {
+        let s = spec();
+        let attack = DoubleSidedAttack::new(s);
+        let mapping = s.mapping;
+        let geometry = s.geometry;
+        let banks: std::collections::HashSet<usize> = attack
+            .take(2 * s.geometry.total_banks())
+            .map(|r| {
+                let d = mapping.decode(&geometry, r.address);
+                d.global_bank_index(geometry.ranks, geometry.bank_groups, geometry.banks_per_group)
+            })
+            .collect();
+        assert_eq!(banks.len(), s.geometry.total_banks());
+    }
+
+    #[test]
+    fn many_sided_uses_the_requested_number_of_aggressors() {
+        let s = spec();
+        let attack = ManySidedAttack::new(s, 6);
+        let mapping = s.mapping;
+        let geometry = s.geometry;
+        let rows: std::collections::HashSet<u64> = attack
+            .take(6 * s.geometry.total_banks())
+            .map(|r| mapping.decode(&geometry, r.address).row())
+            .collect();
+        assert_eq!(rows.len(), 6);
+        for row in rows {
+            assert!((row as i64 - s.victim_row as i64).unsigned_abs() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "victim row")]
+    fn victim_at_bank_edge_is_rejected() {
+        let mut s = spec();
+        s.victim_row = 0;
+        let _ = DoubleSidedAttack::new(s);
+    }
+}

@@ -1,0 +1,288 @@
+//! The benign-workload catalog mirroring Table 8 of the paper.
+//!
+//! The paper's 30 benign applications (SPEC CPU2006, YCSB disk I/O,
+//! network-accelerator traces and non-temporal copy microbenchmarks) are
+//! grouped by row-buffer conflicts per kilo-instruction (RBCPKI) into the
+//! L (< 1), M (1-5) and H (> 5) categories. This module provides a catalog
+//! of synthetic stand-ins: one entry per paper application, named
+//! `<paper-name>.like`, whose generator parameters are calibrated to land
+//! in the same category. The Table 8 reproduction harness measures each
+//! entry's MPKI and RBCPKI in simulation and reports them next to the
+//! paper's values.
+
+use crate::synthetic::{AccessPattern, SyntheticSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The memory-intensity category of a benign workload (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadCategory {
+    /// RBCPKI < 1.
+    Low,
+    /// 1 <= RBCPKI < 5.
+    Medium,
+    /// RBCPKI >= 5.
+    High,
+}
+
+impl fmt::Display for WorkloadCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadCategory::Low => f.write_str("L"),
+            WorkloadCategory::Medium => f.write_str("M"),
+            WorkloadCategory::High => f.write_str("H"),
+        }
+    }
+}
+
+/// One catalog entry: a named synthetic workload plus the paper's reported
+/// reference values for the application it stands in for.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// The synthetic generator specification.
+    pub synthetic: SyntheticSpec,
+    /// MPKI the paper reports for the original application (`None` for
+    /// applications that access memory directly).
+    pub paper_mpki: Option<f64>,
+    /// RBCPKI the paper reports for the original application.
+    pub paper_rbcpki: f64,
+}
+
+impl WorkloadSpec {
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.synthetic.name
+    }
+
+    /// The workload's category.
+    pub fn category(&self) -> WorkloadCategory {
+        self.synthetic.category
+    }
+}
+
+fn cacheable(
+    name: &str,
+    category: WorkloadCategory,
+    paper_mpki: f64,
+    paper_rbcpki: f64,
+    target_mpki: f64,
+    pattern: AccessPattern,
+    working_set_bytes: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        synthetic: SyntheticSpec {
+            name: name.to_owned(),
+            category,
+            target_mpki,
+            pattern,
+            working_set_bytes,
+            write_fraction: 0.25,
+            bypass_cache: false,
+            base_address: 0,
+        },
+        paper_mpki: Some(paper_mpki),
+        paper_rbcpki,
+    }
+}
+
+fn uncached(
+    name: &str,
+    category: WorkloadCategory,
+    paper_rbcpki: f64,
+    pattern: AccessPattern,
+    working_set_bytes: u64,
+    write_fraction: f64,
+    instructions_hint_mpki: f64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        synthetic: SyntheticSpec {
+            name: name.to_owned(),
+            category,
+            target_mpki: instructions_hint_mpki,
+            pattern,
+            working_set_bytes,
+            write_fraction,
+            bypass_cache: true,
+            base_address: 0,
+        },
+        paper_mpki: None,
+        paper_rbcpki,
+    }
+}
+
+/// The full benign-workload catalog (30 entries mirroring Table 8).
+pub fn benign_catalog() -> Vec<WorkloadSpec> {
+    use AccessPattern as P;
+    use WorkloadCategory as C;
+    let stream = P::Streaming;
+    let zipf = P::Zipfian { theta: 0.99 };
+    let rand = P::Random;
+    vec![
+        // --- L category: low memory intensity, RBCPKI < 1 -----------------
+        cacheable("444.namd.like", C::Low, 0.1, 0.0, 0.1, stream, 2 << 20),
+        cacheable("481.wrf.like", C::Low, 0.1, 0.0, 0.1, stream, 2 << 20),
+        cacheable("435.gromacs.like", C::Low, 0.2, 0.0, 0.2, stream, 4 << 20),
+        cacheable("456.hmmer.like", C::Low, 0.1, 0.0, 0.1, stream, 2 << 20),
+        cacheable("464.h264ref.like", C::Low, 0.1, 0.0, 0.1, stream, 2 << 20),
+        cacheable("447.dealII.like", C::Low, 0.1, 0.0, 0.1, stream, 2 << 20),
+        cacheable("403.gcc.like", C::Low, 0.2, 0.1, 0.2, zipf, 8 << 20),
+        cacheable("401.bzip2.like", C::Low, 0.3, 0.1, 0.3, zipf, 8 << 20),
+        cacheable("445.gobmk.like", C::Low, 0.4, 0.1, 0.4, zipf, 8 << 20),
+        cacheable("458.sjeng.like", C::Low, 0.3, 0.2, 0.3, zipf, 16 << 20),
+        uncached(
+            "movnti.rowmaj.like",
+            C::Low,
+            0.2,
+            stream,
+            1 << 30,
+            1.0,
+            2.0,
+        ),
+        uncached("ycsb.A.like", C::Low, 0.4, zipf, 1 << 30, 0.5, 2.0),
+        // --- M category: 1 <= RBCPKI < 5 -----------------------------------
+        uncached("ycsb.F.like", C::Medium, 1.0, zipf, 2 << 30, 0.5, 5.0),
+        uncached("ycsb.C.like", C::Medium, 1.0, zipf, 2 << 30, 0.0, 5.0),
+        uncached("ycsb.B.like", C::Medium, 1.1, zipf, 2 << 30, 0.05, 5.0),
+        cacheable("471.omnetpp.like", C::Medium, 1.3, 1.2, 1.3, rand, 48 << 20),
+        cacheable(
+            "483.xalancbmk.like",
+            C::Medium,
+            8.5,
+            2.4,
+            8.5,
+            zipf,
+            64 << 20,
+        ),
+        cacheable("482.sphinx3.like", C::Medium, 9.6, 3.7, 9.6, zipf, 64 << 20),
+        cacheable(
+            "436.cactusADM.like",
+            C::Medium,
+            16.5,
+            3.7,
+            16.5,
+            stream,
+            128 << 20,
+        ),
+        cacheable(
+            "437.leslie3d.like",
+            C::Medium,
+            9.9,
+            4.6,
+            9.9,
+            zipf,
+            96 << 20,
+        ),
+        cacheable("473.astar.like", C::Medium, 5.6, 4.8, 5.6, rand, 64 << 20),
+        // --- H category: RBCPKI >= 5 ---------------------------------------
+        cacheable("450.soplex.like", C::High, 10.2, 7.1, 10.2, rand, 128 << 20),
+        cacheable(
+            "462.libquantum.like",
+            C::High,
+            26.9,
+            7.7,
+            26.9,
+            stream,
+            256 << 20,
+        ),
+        cacheable("433.milc.like", C::High, 13.6, 10.9, 13.6, rand, 192 << 20),
+        cacheable(
+            "459.GemsFDTD.like",
+            C::High,
+            20.6,
+            15.3,
+            20.6,
+            rand,
+            256 << 20,
+        ),
+        cacheable("470.lbm.like", C::High, 36.5, 24.7, 36.5, rand, 256 << 20),
+        cacheable("429.mcf.like", C::High, 201.7, 62.3, 100.0, rand, 512 << 20),
+        uncached(
+            "movnti.colmaj.like",
+            C::High,
+            30.9,
+            P::Strided { stride_bytes: 8192 },
+            1 << 30,
+            1.0,
+            20.0,
+        ),
+        uncached(
+            "freescale1.like",
+            C::High,
+            336.8,
+            rand,
+            2 << 30,
+            0.3,
+            250.0,
+        ),
+        uncached(
+            "freescale2.like",
+            C::High,
+            370.4,
+            rand,
+            2 << 30,
+            0.3,
+            250.0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_thirty_entries_with_unique_names() {
+        let catalog = benign_catalog();
+        assert_eq!(catalog.len(), 30);
+        let names: std::collections::HashSet<&str> =
+            catalog.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn category_sizes_match_table8() {
+        let catalog = benign_catalog();
+        let count = |c: WorkloadCategory| catalog.iter().filter(|w| w.category() == c).count();
+        assert_eq!(count(WorkloadCategory::Low), 12);
+        assert_eq!(count(WorkloadCategory::Medium), 9);
+        assert_eq!(count(WorkloadCategory::High), 9);
+    }
+
+    #[test]
+    fn paper_rbcpki_is_consistent_with_categories() {
+        for w in benign_catalog() {
+            match w.category() {
+                WorkloadCategory::Low => assert!(w.paper_rbcpki < 1.0, "{}", w.name()),
+                WorkloadCategory::Medium => {
+                    assert!((1.0..5.0).contains(&w.paper_rbcpki), "{}", w.name())
+                }
+                WorkloadCategory::High => assert!(w.paper_rbcpki >= 5.0, "{}", w.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn every_entry_builds_a_trace() {
+        for w in benign_catalog() {
+            let records: Vec<_> = w.synthetic.build(1).take(10).collect();
+            assert_eq!(records.len(), 10, "{} produced a short trace", w.name());
+        }
+    }
+
+    #[test]
+    fn io_like_entries_bypass_the_cache() {
+        let catalog = benign_catalog();
+        for name in ["ycsb.B.like", "movnti.colmaj.like", "freescale1.like"] {
+            let w = catalog.iter().find(|w| w.name() == name).unwrap();
+            assert!(w.synthetic.bypass_cache);
+            assert!(w.paper_mpki.is_none());
+        }
+    }
+
+    #[test]
+    fn category_display_is_single_letter() {
+        assert_eq!(WorkloadCategory::Low.to_string(), "L");
+        assert_eq!(WorkloadCategory::Medium.to_string(), "M");
+        assert_eq!(WorkloadCategory::High.to_string(), "H");
+    }
+}

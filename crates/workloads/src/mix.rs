@@ -1,0 +1,160 @@
+//! Multiprogrammed workload mixes.
+//!
+//! The paper evaluates 250 eight-thread mixes: 125 made of eight
+//! randomly-chosen benign applications and 125 in which one thread is
+//! replaced by a double-sided RowHammer attack (Section 7). [`WorkloadMix`]
+//! reproduces that construction deterministically from a seed.
+
+use crate::attack::AttackSpec;
+use crate::catalog::{benign_catalog, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Whether a mix contains a RowHammer attacker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// All threads are benign applications.
+    BenignOnly,
+    /// Thread 0 is a double-sided RowHammer attack; the rest are benign.
+    WithAttacker,
+}
+
+/// An eight-thread (by default) multiprogrammed workload mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    /// Mix name, e.g. `mix-007-attack`.
+    pub name: String,
+    /// Kind of mix.
+    pub kind: MixKind,
+    /// The benign workloads of the mix, in thread order. For
+    /// [`MixKind::WithAttacker`] these occupy threads `1..`, thread 0 being
+    /// the attacker.
+    pub benign: Vec<WorkloadSpec>,
+    /// Seed that selected the members (kept for reproducibility reports).
+    pub seed: u64,
+}
+
+impl WorkloadMix {
+    /// Builds a benign-only mix of `threads` randomly-chosen catalog
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn benign(index: usize, threads: usize, seed: u64) -> Self {
+        assert!(threads > 0, "a mix needs at least one thread");
+        let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9));
+        let catalog = benign_catalog();
+        let benign = (0..threads)
+            .map(|_| catalog[rng.gen_range(0..catalog.len())].clone())
+            .collect();
+        Self {
+            name: format!("mix-{index:03}-benign"),
+            kind: MixKind::BenignOnly,
+            benign,
+            seed,
+        }
+    }
+
+    /// Builds a mix with one attacker thread and `threads - 1` benign
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is less than two (an attack-present mix needs at
+    /// least one benign thread to measure).
+    pub fn with_attacker(index: usize, threads: usize, seed: u64) -> Self {
+        assert!(threads >= 2, "an attack mix needs at least one benign thread");
+        let mut mix = Self::benign(index, threads - 1, seed ^ 0xA77A);
+        mix.name = format!("mix-{index:03}-attack");
+        mix.kind = MixKind::WithAttacker;
+        mix
+    }
+
+    /// Total number of threads in the mix (benign plus attacker).
+    pub fn thread_count(&self) -> usize {
+        match self.kind {
+            MixKind::BenignOnly => self.benign.len(),
+            MixKind::WithAttacker => self.benign.len() + 1,
+        }
+    }
+
+    /// Whether the mix contains an attacker.
+    pub fn has_attacker(&self) -> bool {
+        self.kind == MixKind::WithAttacker
+    }
+
+    /// The attack specification for the attacker thread (thread 0), if any.
+    pub fn attack_spec(
+        &self,
+        mapping: bh_types::AddressMapping,
+        geometry: bh_types::AddressMappingGeometry,
+    ) -> Option<AttackSpec> {
+        self.has_attacker()
+            .then(|| AttackSpec::default_for(mapping, geometry))
+    }
+
+    /// Generates the standard evaluation suites: `count` benign-only mixes
+    /// and `count` attack-present mixes of `threads` threads each.
+    pub fn evaluation_suites(count: usize, threads: usize, seed: u64) -> (Vec<Self>, Vec<Self>) {
+        let benign = (0..count).map(|i| Self::benign(i, threads, seed)).collect();
+        let attack = (0..count)
+            .map(|i| Self::with_attacker(i, threads, seed))
+            .collect();
+        (benign, attack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_mix_has_requested_thread_count() {
+        let mix = WorkloadMix::benign(0, 8, 42);
+        assert_eq!(mix.thread_count(), 8);
+        assert_eq!(mix.benign.len(), 8);
+        assert!(!mix.has_attacker());
+    }
+
+    #[test]
+    fn attack_mix_reserves_thread_zero_for_the_attacker() {
+        let mix = WorkloadMix::with_attacker(3, 8, 42);
+        assert_eq!(mix.thread_count(), 8);
+        assert_eq!(mix.benign.len(), 7);
+        assert!(mix.has_attacker());
+        assert!(mix
+            .attack_spec(
+                bh_types::AddressMapping::default(),
+                bh_types::AddressMappingGeometry::default()
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn mixes_are_deterministic_and_distinct() {
+        let a = WorkloadMix::benign(1, 8, 7);
+        let b = WorkloadMix::benign(1, 8, 7);
+        let c = WorkloadMix::benign(2, 8, 7);
+        let names = |m: &WorkloadMix| -> Vec<String> {
+            m.benign.iter().map(|w| w.name().to_owned()).collect()
+        };
+        assert_eq!(names(&a), names(&b));
+        assert_ne!(names(&a), names(&c));
+    }
+
+    #[test]
+    fn evaluation_suites_have_matching_sizes() {
+        let (benign, attack) = WorkloadMix::evaluation_suites(5, 8, 99);
+        assert_eq!(benign.len(), 5);
+        assert_eq!(attack.len(), 5);
+        assert!(benign.iter().all(|m| !m.has_attacker()));
+        assert!(attack.iter().all(|m| m.has_attacker()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one benign thread")]
+    fn single_thread_attack_mix_is_rejected() {
+        let _ = WorkloadMix::with_attacker(0, 1, 1);
+    }
+}

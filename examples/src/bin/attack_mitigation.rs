@@ -1,0 +1,63 @@
+//! A double-sided RowHammer attack running next to a benign victim, with
+//! and without BlockHammer — the headline scenario of the paper.
+//!
+//! ```text
+//! cargo run --release -p examples-bin --bin attack_mitigation
+//! ```
+
+use sim::{DefenseKind, RunResult, SystemBuilder};
+use workloads::SyntheticSpec;
+
+fn run(kind: DefenseKind) -> RunResult {
+    SystemBuilder::new()
+        .time_scale(8192)
+        .defense(kind)
+        .rowhammer_threshold(32_768)
+        .llc_capacity(1 << 20)
+        .min_cycles(100_000)
+        .add_attacker()
+        .add_workload(SyntheticSpec::high_intensity("victim.high", 0), 10_000)
+        .add_workload(SyntheticSpec::medium_intensity("victim.medium", 1), 10_000)
+        .run()
+}
+
+fn summarize(label: &str, result: &RunResult) {
+    let attacker = result.attacker().expect("the mix has an attacker");
+    println!("{label}");
+    println!(
+        "  attacker: {} memory requests, RHLI {:.2}",
+        attacker.memory_requests, attacker.max_rhli
+    );
+    for thread in result.benign_threads() {
+        println!(
+            "  benign {:<16} IPC {:.3} (RHLI {:.2})",
+            thread.name, thread.ipc, thread.max_rhli
+        );
+    }
+    println!(
+        "  DRAM activations {} | energy {:.3} mJ | requests rejected by quota {}",
+        result.dram.totals().activates,
+        result.dram_energy_joules() * 1e3,
+        result.ctrl.rejected_quota
+    );
+    println!();
+}
+
+fn main() {
+    println!("Double-sided RowHammer attack vs. one benign victim pair\n");
+    let baseline = run(DefenseKind::Baseline);
+    let graphene = run(DefenseKind::Graphene);
+    let blockhammer = run(DefenseKind::BlockHammer);
+    summarize("No mitigation (baseline)", &baseline);
+    summarize("Graphene (reactive refresh)", &graphene);
+    summarize("BlockHammer (proactive throttling)", &blockhammer);
+
+    let benign_ipc = |r: &RunResult| r.benign_threads().map(|t| t.ipc).sum::<f64>();
+    let improvement =
+        (benign_ipc(&blockhammer) / benign_ipc(&baseline) - 1.0) * 100.0;
+    println!(
+        "BlockHammer changes aggregate benign IPC by {improvement:+.1}% relative to the \
+         unprotected baseline while the attack is running \
+         (the paper reports +45% on average at full scale)."
+    );
+}

@@ -1,0 +1,42 @@
+//! How BlockHammer's configuration and guarantees scale as DRAM chips
+//! become more vulnerable (smaller RowHammer thresholds) — the analytic
+//! side of Figure 6 / Table 7.
+//!
+//! ```text
+//! cargo run --release -p examples-bin --bin nrh_scaling
+//! ```
+
+use blockhammer::config::BlockHammerConfig;
+use blockhammer::hwcost;
+use blockhammer::security;
+use mitigations::{DefenseGeometry, RowHammerThreshold};
+
+fn main() {
+    let geometry = DefenseGeometry::default();
+    println!("BlockHammer configuration vs. RowHammer threshold (Table 7 + Eq. 1)\n");
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "N_RH", "N_RH*", "N_BL", "CBF size", "tDelay (us)", "HB entries", "safe?"
+    );
+    for config in BlockHammerConfig::table7(&geometry) {
+        let analysis = security::max_activations_in_refresh_window(&config);
+        println!(
+            "{:>8} {:>8} {:>8} {:>10} {:>12.2} {:>12} {:>10}",
+            config.n_rh,
+            config.n_rh_star,
+            config.n_bl,
+            config.cbf_size,
+            config.t_delay_us(3.2e9),
+            config.history_entries,
+            if analysis.safe { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\nHardware cost comparison at N_RH = 32K and N_RH = 1K (Table 4 model)\n");
+    for n_rh in [32_768u64, 1_024] {
+        println!("--- N_RH = {n_rh} ---");
+        let rows = hwcost::table4(RowHammerThreshold::new(n_rh), &geometry);
+        print!("{}", hwcost::render_table(&rows));
+        println!();
+    }
+}

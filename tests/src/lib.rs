@@ -1,0 +1,43 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual test suites live in `tests/` next to this crate: end-to-end
+//! RowHammer safety verification, defense comparisons and property-based
+//! tests spanning several crates.
+
+#![forbid(unsafe_code)]
+
+use sim::{DefenseKind, RunResult, SystemBuilder};
+use workloads::SyntheticSpec;
+
+/// The time-scaling factor used by all integration tests (refresh window of
+/// about 25k cycles; see DESIGN.md §5).
+pub const TEST_TIME_SCALE: u64 = 8192;
+
+/// The scaled refresh window in cycles for [`TEST_TIME_SCALE`].
+pub const TEST_REFRESH_WINDOW: u64 = 204_800_000 / TEST_TIME_SCALE;
+
+/// Builds the standard attack-plus-victims system used by several
+/// integration tests: one double-sided attacker and two benign threads.
+pub fn attack_system(kind: DefenseKind) -> SystemBuilder {
+    SystemBuilder::new()
+        .time_scale(TEST_TIME_SCALE)
+        .defense(kind)
+        .rowhammer_threshold(32_768)
+        .llc_capacity(1 << 20)
+        .min_cycles(2 * TEST_REFRESH_WINDOW)
+        .max_cycles(1_500_000)
+        .add_attacker()
+        .add_workload(SyntheticSpec::high_intensity("victim.high", 0), 6_000)
+        .add_workload(SyntheticSpec::medium_intensity("victim.medium", 1), 6_000)
+}
+
+/// Runs the standard attack system under `kind` with activation logging
+/// enabled.
+pub fn run_attack_with_log(kind: DefenseKind) -> RunResult {
+    attack_system(kind).activation_log().run()
+}
+
+/// Aggregate benign IPC of a run.
+pub fn benign_ipc(result: &RunResult) -> f64 {
+    result.benign_threads().map(|t| t.ipc).sum()
+}

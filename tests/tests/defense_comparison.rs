@@ -1,0 +1,116 @@
+//! Cross-defense behavioural comparisons on the full system, mirroring the
+//! qualitative claims of Sections 8.1 and 8.2.
+
+use integration_tests::{attack_system, benign_ipc, TEST_TIME_SCALE};
+use sim::{DefenseKind, SystemBuilder};
+use workloads::SyntheticSpec;
+
+fn benign_only(kind: DefenseKind) -> sim::RunResult {
+    SystemBuilder::new()
+        .time_scale(TEST_TIME_SCALE)
+        .defense(kind)
+        .rowhammer_threshold(32_768)
+        .llc_capacity(1 << 20)
+        .min_cycles(60_000)
+        .add_workload(SyntheticSpec::high_intensity("benign.h", 0), 6_000)
+        .add_workload(SyntheticSpec::medium_intensity("benign.m", 1), 6_000)
+        .run()
+}
+
+/// Without an attack, BlockHammer's performance is indistinguishable from
+/// the unprotected baseline (Figure 4 / Figure 5 left half).
+#[test]
+fn blockhammer_adds_no_overhead_without_an_attack() {
+    let baseline = benign_only(DefenseKind::Baseline);
+    let blockhammer = benign_only(DefenseKind::BlockHammer);
+    let ratio = benign_ipc(&blockhammer) / benign_ipc(&baseline);
+    assert!(
+        ratio > 0.97,
+        "BlockHammer cost {:.1}% benign IPC without an attack",
+        (1.0 - ratio) * 100.0
+    );
+    assert_eq!(blockhammer.ctrl.rejected_quota, 0);
+}
+
+/// Under attack, BlockHammer improves benign performance relative to the
+/// unprotected baseline, while reactive-refresh defenses cannot (they only
+/// add refresh traffic) — the paper's headline result (Section 8.2).
+#[test]
+fn blockhammer_improves_benign_performance_under_attack() {
+    let baseline = attack_system(DefenseKind::Baseline).run();
+    let blockhammer = attack_system(DefenseKind::BlockHammer).run();
+    let graphene = attack_system(DefenseKind::Graphene).run();
+    let base = benign_ipc(&baseline);
+    assert!(
+        benign_ipc(&blockhammer) > base * 1.05,
+        "BlockHammer benign IPC {:.4} is not clearly above the baseline {:.4}",
+        benign_ipc(&blockhammer),
+        base
+    );
+    // Graphene keeps the system safe but does not hand bandwidth back to
+    // benign applications: no comparable speedup.
+    assert!(
+        benign_ipc(&graphene) < benign_ipc(&blockhammer),
+        "Graphene ({:.4}) should not outperform BlockHammer ({:.4}) under attack",
+        benign_ipc(&graphene),
+        benign_ipc(&blockhammer)
+    );
+}
+
+/// The attacker's share of DRAM activations shrinks under BlockHammer.
+#[test]
+fn attacker_activation_share_shrinks_under_blockhammer() {
+    let baseline = attack_system(DefenseKind::Baseline).run();
+    let blockhammer = attack_system(DefenseKind::BlockHammer).run();
+    let activation_rate = |r: &sim::RunResult| {
+        r.dram.totals().activates as f64 / r.total_cycles as f64
+    };
+    assert!(
+        activation_rate(&blockhammer) < activation_rate(&baseline),
+        "total activation rate should drop when the attacker is throttled \
+         (baseline {:.5}, BlockHammer {:.5})",
+        activation_rate(&baseline),
+        activation_rate(&blockhammer)
+    );
+    assert!(blockhammer.ctrl.rejected_quota > 0, "the quota never engaged");
+}
+
+/// Every defense can run the attack mix to completion (no deadlocks, no
+/// panics) and produces internally consistent statistics.
+#[test]
+fn every_defense_completes_the_attack_mix() {
+    for kind in [
+        DefenseKind::Baseline,
+        DefenseKind::Para,
+        DefenseKind::ProHit,
+        DefenseKind::MrLoc,
+        DefenseKind::Cbt,
+        DefenseKind::TwiCe,
+        DefenseKind::Graphene,
+        DefenseKind::BlockHammer,
+        DefenseKind::BlockHammerObserve,
+    ] {
+        let result = attack_system(kind).run();
+        for thread in result.benign_threads() {
+            // Every benign thread must make substantial forward progress;
+            // defenses with heavy victim-refresh traffic may not let it
+            // finish the full budget within the bounded run.
+            assert!(
+                thread.instructions >= 1_500,
+                "{kind:?}: benign thread {} finished only {} instructions",
+                thread.name,
+                thread.instructions
+            );
+        }
+        assert!(result.dram.totals().activates > 0, "{kind:?}: no activations");
+        assert!(
+            result.dram_energy_joules() > 0.0,
+            "{kind:?}: zero DRAM energy"
+        );
+        let totals = result.dram.totals();
+        assert!(
+            totals.reads + totals.writes >= totals.activates / 2,
+            "{kind:?}: implausible command mix {totals:?}"
+        );
+    }
+}

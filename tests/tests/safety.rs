@@ -1,0 +1,84 @@
+//! End-to-end RowHammer safety verification.
+//!
+//! These tests drive the full stack (attack trace -> core -> memory
+//! controller -> DRAM device) and check the property the paper proves in
+//! Section 5: on a BlockHammer-protected system, no DRAM row is ever
+//! activated at a RowHammer-unsafe rate, for the deterministic defenses —
+//! while the unprotected baseline is demonstrably unsafe under the same
+//! attack.
+
+use integration_tests::{run_attack_with_log, TEST_REFRESH_WINDOW};
+use sim::DefenseKind;
+
+/// The unprotected baseline lets the double-sided attack hammer rows far
+/// beyond the (scaled) RowHammer threshold — i.e. the attack itself works.
+#[test]
+fn baseline_allows_unsafe_activation_rates() {
+    let result = run_attack_with_log(DefenseKind::Baseline);
+    let worst = result
+        .dram
+        .max_row_activations_in_window(TEST_REFRESH_WINDOW)
+        .expect("activation log enabled");
+    assert!(
+        worst > result.n_rh,
+        "the attack only reached {worst} activations per window (N_RH = {}); \
+         it would not flip bits even without protection",
+        result.n_rh
+    );
+}
+
+/// BlockHammer caps every row's activation count within any sliding refresh
+/// window below the RowHammer threshold.
+#[test]
+fn blockhammer_prevents_unsafe_activation_rates() {
+    let result = run_attack_with_log(DefenseKind::BlockHammer);
+    let worst = result
+        .dram
+        .max_row_activations_in_window(TEST_REFRESH_WINDOW)
+        .expect("activation log enabled");
+    assert!(
+        worst <= result.n_rh,
+        "a row received {worst} activations within one refresh window, \
+         above N_RH = {}",
+        result.n_rh
+    );
+    // The defense actually intervened (this is not a vacuous pass).
+    assert!(result.defense_stats.blocked_activations > 0);
+}
+
+/// Graphene (the strongest reactive-refresh baseline) refreshes victims of
+/// the attack rather than throttling it: victim refreshes must reach DRAM.
+#[test]
+fn graphene_refreshes_victims_under_attack() {
+    let result = run_attack_with_log(DefenseKind::Graphene);
+    assert!(
+        result.ctrl.victim_refreshes_performed > 0,
+        "Graphene should have refreshed victim rows under a double-sided attack"
+    );
+    assert!(result.defense_stats.victim_refreshes > 0);
+}
+
+/// BlockHammer never injects victim-refresh traffic — prevention is done
+/// purely by rate-limiting aggressors (Section 3).
+#[test]
+fn blockhammer_never_issues_victim_refreshes() {
+    let result = run_attack_with_log(DefenseKind::BlockHammer);
+    assert_eq!(result.ctrl.victim_refreshes_performed, 0);
+    assert_eq!(result.defense_stats.victim_refreshes, 0);
+}
+
+/// The attacker's RowHammer likelihood index identifies it, and benign
+/// threads stay at zero (99.98% accuracy claim of the paper, Section 1).
+#[test]
+fn rhli_identifies_the_attacker_and_only_the_attacker() {
+    let result = run_attack_with_log(DefenseKind::BlockHammer);
+    let attacker = result.attacker().expect("mix has an attacker");
+    assert!(attacker.max_rhli > 0.0, "attacker RHLI must be non-zero");
+    for benign in result.benign_threads() {
+        assert_eq!(
+            benign.max_rhli, 0.0,
+            "benign thread {} was flagged with RHLI {}",
+            benign.name, benign.max_rhli
+        );
+    }
+}
