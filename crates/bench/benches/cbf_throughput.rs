@@ -18,17 +18,21 @@ fn bench_cbf(c: &mut Criterion) {
                 filter.insert(cycle, black_box(row));
             });
         });
-        group.bench_with_input(BenchmarkId::new("is_blacklisted", size), &size, |b, &size| {
-            let mut filter = DualCountingBloomFilter::new(size, 4, 8_192, u64::MAX / 2, 1);
-            for i in 0..10_000u64 {
-                filter.insert(i * 148, i % 64);
-            }
-            let mut row = 0u64;
-            b.iter(|| {
-                row = (row + 1) % 65_536;
-                black_box(filter.is_blacklisted(black_box(row)))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("is_blacklisted", size),
+            &size,
+            |b, &size| {
+                let mut filter = DualCountingBloomFilter::new(size, 4, 8_192, u64::MAX / 2, 1);
+                for i in 0..10_000u64 {
+                    filter.insert(i * 148, i % 64);
+                }
+                let mut row = 0u64;
+                b.iter(|| {
+                    row = (row + 1) % 65_536;
+                    black_box(filter.is_blacklisted(black_box(row)))
+                });
+            },
+        );
     }
     group.finish();
 }

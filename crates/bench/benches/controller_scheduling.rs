@@ -18,7 +18,13 @@ fn run_controller(defense: &mut dyn RowHammerDefense, requests: u64) -> u64 {
         if issued < requests {
             let addr = (issued * 4096) % (1 << 30);
             if ctrl
-                .enqueue(ThreadId::new((issued % 8) as usize), addr, AccessType::Read, cycle, defense)
+                .enqueue(
+                    ThreadId::new((issued % 8) as usize),
+                    addr,
+                    AccessType::Read,
+                    cycle,
+                    defense,
+                )
                 .is_ok()
             {
                 issued += 1;

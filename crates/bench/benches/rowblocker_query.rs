@@ -2,18 +2,16 @@
 //! activation-recording path — the Section 6.2 claim that the query fits
 //! comfortably under the DRAM row-access latency.
 
-use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
 use bh_types::{DramAddress, ThreadId};
+use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mitigations::{DefenseGeometry, RowHammerDefense, RowHammerThreshold};
 use std::hint::black_box;
 
 fn build() -> BlockHammer {
     let geometry = DefenseGeometry::default();
-    let config = BlockHammerConfig::for_rowhammer_threshold(
-        RowHammerThreshold::new(32_768),
-        &geometry,
-    );
+    let config =
+        BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(32_768), &geometry);
     BlockHammer::new(config, geometry, OperatingMode::FullFunctional)
 }
 

@@ -7,10 +7,8 @@ use mitigations::{DefenseGeometry, RowHammerThreshold};
 
 fn main() {
     let geometry = DefenseGeometry::default();
-    let config = BlockHammerConfig::for_rowhammer_threshold(
-        RowHammerThreshold::new(32_768),
-        &geometry,
-    );
+    let config =
+        BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(32_768), &geometry);
     println!("Table 1: BlockHammer parameters (DDR4, N_RH = 32K)\n");
     println!("DRAM features");
     println!("  N_RH            : {}", config.n_rh);
@@ -21,16 +19,27 @@ fn main() {
     println!("  tFAW            : 35 ns");
     println!("RowBlocker-BL");
     println!("  N_BL            : {}", config.n_bl);
-    println!("  tCBF            : {} cycles (= tREFW)", config.t_cbf_cycles);
-    println!("  tDelay          : {:.2} us (paper: 7.7 us)", config.t_delay_us(3.2e9));
+    println!(
+        "  tCBF            : {} cycles (= tREFW)",
+        config.t_cbf_cycles
+    );
+    println!(
+        "  tDelay          : {:.2} us (paper: 7.7 us)",
+        config.t_delay_us(3.2e9)
+    );
     println!("  CBF size        : {} counters per bank", config.cbf_size);
-    println!("  CBF hashing     : {} H3-class functions", config.cbf_hashes);
+    println!(
+        "  CBF hashing     : {} H3-class functions",
+        config.cbf_hashes
+    );
     println!("RowBlocker-HB");
     println!(
         "  history entries : {} per rank (paper: 887)",
         config.history_entries
     );
     println!("AttackThrottler");
-    println!("  2 counters per <thread, bank> pair ({} threads x {} banks)",
-        geometry.threads, geometry.total_banks);
+    println!(
+        "  2 counters per <thread, bank> pair ({} threads x {} banks)",
+        geometry.threads, geometry.total_banks
+    );
 }

@@ -10,10 +10,8 @@ fn main() {
     let geometry = DefenseGeometry::default();
     println!("Section 5 security analysis\n");
     for n_rh in [32_768u64, 16_384, 8_192, 4_096, 2_048, 1_024] {
-        let config = BlockHammerConfig::for_rowhammer_threshold(
-            RowHammerThreshold::new(n_rh),
-            &geometry,
-        );
+        let config =
+            BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(n_rh), &geometry);
         println!("--- N_RH = {n_rh} (N_RH* = {}) ---", config.n_rh_star);
         println!("Table 2 epoch-type bounds (max activations per epoch):");
         for bound in security::epoch_type_table(&config) {

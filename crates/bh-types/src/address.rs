@@ -197,9 +197,25 @@ impl AddressMappingGeometry {
         self.channels * self.ranks * self.bank_groups * self.banks_per_group
     }
 
+    /// Banks within one channel.
+    pub fn banks_per_channel(&self) -> usize {
+        self.ranks * self.bank_groups * self.banks_per_group
+    }
+
     /// Total addressable capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.total_banks() as u64 * self.rows * self.columns * self.line_bytes
+    }
+
+    /// The geometry of a single channel of this system: identical in every
+    /// dimension except `channels`, which becomes 1. This is the geometry a
+    /// channel-sharded memory controller decodes channel-local addresses
+    /// against.
+    pub fn per_channel(&self) -> Self {
+        Self {
+            channels: 1,
+            ..*self
+        }
     }
 }
 
@@ -225,6 +241,37 @@ impl Default for AddressMapping {
 }
 
 impl AddressMapping {
+    /// The channel a physical byte address routes to.
+    ///
+    /// Both mapping schemes interleave channels on the lowest line-index
+    /// bits, so the channel can be extracted without a full decode. This is
+    /// what a channel-sharded memory subsystem uses to pick the shard; it
+    /// always agrees with [`AddressMapping::decode`]'s `channel()`.
+    pub fn channel_of(&self, geometry: &AddressMappingGeometry, phys_addr: u64) -> usize {
+        self.to_channel_local(geometry, phys_addr).0
+    }
+
+    /// Splits a physical byte address into its channel and the
+    /// channel-local physical address.
+    ///
+    /// The local address, decoded against [`AddressMappingGeometry::per_channel`],
+    /// yields the same rank / bank group / bank / row / column coordinates
+    /// as a full-system decode of `phys_addr` (with `channel` = 0). With a
+    /// single channel the local address equals the original address, so the
+    /// sharded path is bit-for-bit identical to the unsharded one.
+    pub fn to_channel_local(
+        &self,
+        geometry: &AddressMappingGeometry,
+        phys_addr: u64,
+    ) -> (usize, u64) {
+        let total_lines = (geometry.capacity_bytes() / geometry.line_bytes).max(1);
+        let line = (phys_addr / geometry.line_bytes) % total_lines;
+        let channel = (line % geometry.channels as u64) as usize;
+        let local_line = line / geometry.channels as u64;
+        let local_phys = local_line * geometry.line_bytes + phys_addr % geometry.line_bytes;
+        (channel, local_phys)
+    }
+
     /// Decodes a physical byte address into DRAM coordinates.
     ///
     /// Addresses beyond the geometry's capacity wrap around; the simulator
@@ -330,7 +377,10 @@ mod tests {
         let a2 = m.decode(&g, base + 3 * 64);
         let a3 = m.decode(&g, base + 4 * 64);
         assert_eq!(a0.row(), a1.row());
-        assert_eq!(a0.bank_in_rank(g.banks_per_group), a1.bank_in_rank(g.banks_per_group));
+        assert_eq!(
+            a0.bank_in_rank(g.banks_per_group),
+            a1.bank_in_rank(g.banks_per_group)
+        );
         assert_eq!(a0.row(), a2.row());
         // After the MOP width the bank changes but the row index stays, so
         // bank-level parallelism is exposed.
@@ -378,6 +428,59 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), g.total_banks());
+    }
+
+    #[test]
+    fn channel_of_agrees_with_decode_for_multi_channel_geometries() {
+        for channels in [1usize, 2, 4] {
+            let g = AddressMappingGeometry { channels, ..geom() };
+            for m in [
+                AddressMapping::Mop { mop_lines: 4 },
+                AddressMapping::RoBaRaCoCh,
+            ] {
+                for line in 0..4096u64 {
+                    let phys = line * 64;
+                    assert_eq!(m.channel_of(&g, phys), m.decode(&g, phys).channel());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_local_decode_matches_full_decode() {
+        for channels in [1usize, 2, 4] {
+            let g = AddressMappingGeometry { channels, ..geom() };
+            let local_geom = g.per_channel();
+            assert_eq!(local_geom.channels, 1);
+            assert_eq!(local_geom.banks_per_channel(), g.banks_per_channel());
+            for m in [
+                AddressMapping::Mop { mop_lines: 4 },
+                AddressMapping::RoBaRaCoCh,
+            ] {
+                for line in 0..4096u64 {
+                    let phys = line * 64 + 8;
+                    let full = m.decode(&g, phys);
+                    let (channel, local_phys) = m.to_channel_local(&g, phys);
+                    assert_eq!(channel, full.channel());
+                    let local = m.decode(&local_geom, local_phys);
+                    assert_eq!(local.channel(), 0);
+                    assert_eq!(local.rank(), full.rank());
+                    assert_eq!(local.bank_group(), full.bank_group());
+                    assert_eq!(local.bank(), full.bank());
+                    assert_eq!(local.row(), full.row());
+                    assert_eq!(local.column(), full.column());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_channel_local_address_is_the_identity() {
+        let g = geom();
+        let m = AddressMapping::default();
+        for phys in [0u64, 64, 0x1000_0040, 0x7fff_ffc0] {
+            assert_eq!(m.to_channel_local(&g, phys), (0, phys));
+        }
     }
 
     proptest! {

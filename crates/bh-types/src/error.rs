@@ -36,7 +36,11 @@ impl ConfigError {
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid configuration `{}`: {}", self.field, self.message)
+        write!(
+            f,
+            "invalid configuration `{}`: {}",
+            self.field, self.message
+        )
     }
 }
 

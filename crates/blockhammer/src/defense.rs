@@ -152,10 +152,7 @@ impl BlockHammer {
     }
 
     fn exact_count(&self, bank: usize, row: u64) -> u64 {
-        self.shadow_current
-            .get(&(bank, row))
-            .copied()
-            .unwrap_or(0)
+        self.shadow_current.get(&(bank, row)).copied().unwrap_or(0)
             + self.shadow_previous.get(&(bank, row)).copied().unwrap_or(0)
     }
 
@@ -279,10 +276,8 @@ mod tests {
             refresh_window_cycles: 100_000,
             ..DefenseGeometry::default()
         };
-        let config = BlockHammerConfig::for_rowhammer_threshold(
-            RowHammerThreshold::new(1_024),
-            &geometry,
-        );
+        let config =
+            BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(1_024), &geometry);
         (BlockHammer::new(config, geometry, mode), geometry)
     }
 
@@ -376,7 +371,10 @@ mod tests {
             rhli <= 1.0 + 1e-6,
             "RHLI must never exceed 1 in a protected system, got {rhli}"
         );
-        assert!(rhli > 0.5, "the attacker should have been detected, RHLI = {rhli}");
+        assert!(
+            rhli > 0.5,
+            "the attacker should have been detected, RHLI = {rhli}"
+        );
     }
 
     #[test]
@@ -411,10 +409,8 @@ mod tests {
         // Full-scale configuration: the paper reports ~51.5 KiB SRAM and
         // ~1.7 KiB CAM per rank for N_RH = 32K.
         let geometry = DefenseGeometry::default();
-        let config = BlockHammerConfig::for_rowhammer_threshold(
-            RowHammerThreshold::new(32_768),
-            &geometry,
-        );
+        let config =
+            BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(32_768), &geometry);
         let bh = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
         let m = bh.metadata();
         assert!(

@@ -134,10 +134,7 @@ mod tests {
     use super::*;
 
     fn rows(n_rh: u64) -> Vec<HwCostRow> {
-        table4(
-            RowHammerThreshold::new(n_rh),
-            &DefenseGeometry::default(),
-        )
+        table4(RowHammerThreshold::new(n_rh), &DefenseGeometry::default())
     }
 
     fn find<'a>(rows: &'a [HwCostRow], name: &str) -> &'a HwCostRow {
@@ -177,9 +174,8 @@ mod tests {
     fn table_based_baselines_blow_up_at_1k_faster_than_blockhammer() {
         let at_32k = rows(32_768);
         let at_1k = rows(1_024);
-        let growth = |name: &str| {
-            find(&at_1k, name).area_mm2 / find(&at_32k, name).area_mm2.max(1e-9)
-        };
+        let growth =
+            |name: &str| find(&at_1k, name).area_mm2 / find(&at_32k, name).area_mm2.max(1e-9);
         let bh_growth = growth("BlockHammer");
         // Paper: TWiCe and CBT end up at 3.3x / 2.5x of BlockHammer's area
         // at N_RH = 1K; what matters for the claim is that their growth
@@ -197,8 +193,8 @@ mod tests {
             bh_growth
         );
         // Graphene's cost also rises steeply (22x energy in the paper).
-        let graphene_energy_growth = find(&at_1k, "Graphene").access_energy_pj
-            / find(&at_32k, "Graphene").access_energy_pj;
+        let graphene_energy_growth =
+            find(&at_1k, "Graphene").access_energy_pj / find(&at_32k, "Graphene").access_energy_pj;
         assert!(graphene_energy_growth > 10.0);
     }
 

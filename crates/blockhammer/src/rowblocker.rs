@@ -48,7 +48,9 @@ impl RowBlocker {
     /// Panics if the configuration is internally inconsistent (see
     /// [`BlockHammerConfig::validate`]).
     pub fn new(config: BlockHammerConfig, geometry: DefenseGeometry, seed: u64) -> Self {
-        config.validate().expect("invalid BlockHammer configuration");
+        config
+            .validate()
+            .expect("invalid BlockHammer configuration");
         let filters = (0..geometry.total_banks)
             .map(|bank| {
                 DualCountingBloomFilter::new(
@@ -169,10 +171,8 @@ mod tests {
             refresh_window_cycles: 100_000,
             ..DefenseGeometry::default()
         };
-        let config = BlockHammerConfig::for_rowhammer_threshold(
-            RowHammerThreshold::new(1_024),
-            &geometry,
-        );
+        let config =
+            BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(1_024), &geometry);
         (config, geometry)
     }
 

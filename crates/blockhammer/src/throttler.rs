@@ -42,7 +42,9 @@ impl AttackThrottler {
         Self {
             active: vec![vec![0; banks]; threads],
             passive: vec![vec![0; banks]; threads],
-            saturation: config.max_activations_per_cbf_lifetime().min(u32::MAX as u64) as u32,
+            saturation: config
+                .max_activations_per_cbf_lifetime()
+                .min(u32::MAX as u64) as u32,
             rhli_denominator: config.rhli_denominator().min(u32::MAX as u64) as u32,
             base_quota: config.base_inflight_quota,
             threads,
@@ -110,7 +112,11 @@ impl AttackThrottler {
         } else if rhli >= 1.0 {
             Some(0)
         } else {
-            Some(((f64::from(self.base_quota)) * (1.0 - rhli)).floor().max(1.0) as u32)
+            Some(
+                ((f64::from(self.base_quota)) * (1.0 - rhli))
+                    .floor()
+                    .max(1.0) as u32,
+            )
         }
     }
 
@@ -129,10 +135,8 @@ mod tests {
 
     fn throttler() -> AttackThrottler {
         let geometry = DefenseGeometry::default();
-        let config = BlockHammerConfig::for_rowhammer_threshold(
-            RowHammerThreshold::new(32_768),
-            &geometry,
-        );
+        let config =
+            BlockHammerConfig::for_rowhammer_threshold(RowHammerThreshold::new(32_768), &geometry);
         AttackThrottler::new(&config, 8, 16)
     }
 
@@ -158,7 +162,10 @@ mod tests {
         let rhli = t.rhli(attacker, 3);
         assert!((rhli - 0.5).abs() < 1e-6);
         let quota = t.quota(attacker, 3).unwrap();
-        assert!(quota >= 1 && quota <= 8, "quota {quota} not scaled by 1-RHLI");
+        assert!(
+            (1..=8).contains(&quota),
+            "quota {quota} not scaled by 1-RHLI"
+        );
         // Other banks and threads are unaffected.
         assert_eq!(t.rhli(attacker, 4), 0.0);
         assert_eq!(t.rhli(ThreadId::new(1), 3), 0.0);

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros and defines empty marker traits so
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(Serialize,
+//! Deserialize)]` compile unchanged. See `crates/compat/README.md` for the
+//! swap-back-to-registry procedure.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (type namespace; the derive
+/// macro of the same name lives in the macro namespace).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

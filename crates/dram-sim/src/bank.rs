@@ -108,9 +108,10 @@ impl Bank {
                 MemCommand::Read | MemCommand::ReadAp | MemCommand::Write | MemCommand::WriteAp,
                 BankState::Active { row: open },
             ) if open == row => Some(self.next_column),
-            (MemCommand::Read | MemCommand::ReadAp | MemCommand::Write | MemCommand::WriteAp, _) => {
-                None
-            }
+            (
+                MemCommand::Read | MemCommand::ReadAp | MemCommand::Write | MemCommand::WriteAp,
+                _,
+            ) => None,
             // Refresh legality (all banks precharged) is checked by the rank.
             (MemCommand::Refresh, BankState::Precharged) => Some(self.next_activate),
             (MemCommand::Refresh, BankState::Active { .. }) => None,

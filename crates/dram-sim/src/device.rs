@@ -34,9 +34,7 @@ impl DramDevice {
     ///
     /// Panics if the organization fails validation (zero-sized dimension).
     pub fn new(organization: DramOrganization, timings: TimingsInCycles) -> Self {
-        organization
-            .validate()
-            .expect("invalid DRAM organization");
+        organization.validate().expect("invalid DRAM organization");
         let total_ranks = organization.total_ranks();
         Self {
             organization,
@@ -204,7 +202,10 @@ mod tests {
         let b = addr(2, 1, 9, 0);
         d.issue(MemCommand::Activate, &a, 0);
         let act_b = d.earliest_issue(MemCommand::Activate, &b).unwrap();
-        assert!(act_b < d.timings().t_rc, "different banks need only tRRD, not tRC");
+        assert!(
+            act_b < d.timings().t_rc,
+            "different banks need only tRRD, not tRC"
+        );
         d.issue(MemCommand::Activate, &b, act_b);
         assert_eq!(d.open_row(&a), Some(1));
         assert_eq!(d.open_row(&b), Some(9));

@@ -89,6 +89,21 @@ impl DramOrganization {
         channel * self.ranks + rank
     }
 
+    /// Banks within one channel.
+    pub fn banks_per_channel(&self) -> usize {
+        self.ranks * self.banks_per_rank()
+    }
+
+    /// The organization of a single channel of this system (`channels` = 1,
+    /// everything else unchanged) — what each shard of a channel-sharded
+    /// memory subsystem instantiates.
+    pub fn per_channel(&self) -> Self {
+        Self {
+            channels: 1,
+            ..*self
+        }
+    }
+
     /// The address-mapping geometry equivalent of this organization.
     pub fn geometry(&self) -> AddressMappingGeometry {
         AddressMappingGeometry {
@@ -119,8 +134,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_dimensions() {
-        let mut o = DramOrganization::default();
-        o.rows_per_bank = 0;
+        let o = DramOrganization {
+            rows_per_bank: 0,
+            ..DramOrganization::default()
+        };
         let err = o.validate().unwrap_err();
         assert_eq!(err.field(), "rows_per_bank");
     }
@@ -135,9 +152,11 @@ mod tests {
 
     #[test]
     fn rank_index_is_dense() {
-        let mut o = DramOrganization::default();
-        o.channels = 2;
-        o.ranks = 2;
+        let o = DramOrganization {
+            channels: 2,
+            ranks: 2,
+            ..DramOrganization::default()
+        };
         let mut seen = std::collections::HashSet::new();
         for ch in 0..2 {
             for ra in 0..2 {

@@ -312,7 +312,9 @@ mod tests {
         }
         // The fifth activation must wait until tFAW after the first.
         let fifth = addr(2, 2, 10);
-        let earliest = rank.earliest_issue(MemCommand::Activate, &fifth, &t).unwrap();
+        let earliest = rank
+            .earliest_issue(MemCommand::Activate, &fifth, &t)
+            .unwrap();
         assert!(
             earliest >= t.t_faw,
             "5th ACT allowed at {earliest}, before tFAW={}",

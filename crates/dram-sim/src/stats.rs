@@ -99,6 +99,33 @@ impl DramStats {
         }
     }
 
+    /// Appends the statistics of one channel shard to this (system-wide)
+    /// accumulator.
+    ///
+    /// Shard-local rank and bank indices are channel-relative; callers
+    /// absorb shards in channel order so that rank entries land at the
+    /// flat `channel * ranks + rank` index, and pass the shard's global
+    /// bank offset (`channel * banks_per_channel`) so activation-log
+    /// entries keep system-wide unique bank indices.
+    pub fn absorb_shard(&mut self, shard: DramStats, bank_offset: usize) {
+        self.per_rank.extend(shard.per_rank);
+        self.active_bank_cycles.extend(shard.active_bank_cycles);
+        self.elapsed_cycles = self.elapsed_cycles.max(shard.elapsed_cycles);
+        if let Some(log) = shard.activation_log {
+            let merged = self.activation_log.get_or_insert_with(Vec::new);
+            merged.extend(
+                log.into_iter()
+                    .map(|(cycle, bank, row)| (cycle, bank + bank_offset, row)),
+            );
+        }
+        if let Some(map) = shard.activations_per_row {
+            let merged = self.activations_per_row.get_or_insert_with(HashMap::new);
+            for ((bank, row), count) in map {
+                *merged.entry((bank + bank_offset, row)).or_insert(0) += count;
+            }
+        }
+    }
+
     /// System-wide command counts (sum over ranks).
     pub fn totals(&self) -> CommandCounts {
         self.per_rank
@@ -186,6 +213,32 @@ mod tests {
         assert_eq!(s.max_row_activations_in_window(100), Some(10));
         assert_eq!(s.max_row_activations_in_window(5), Some(5));
         assert_eq!(s.max_row_activations_in_window(10_000), Some(10));
+    }
+
+    #[test]
+    fn absorb_shard_concatenates_ranks_and_offsets_banks() {
+        let mut merged = DramStats::new(0);
+        let mut shard0 = DramStats::new(1);
+        shard0.enable_activation_log();
+        shard0.per_rank[0].record(MemCommand::Activate);
+        shard0.log_activation(10, 3, 7);
+        shard0.elapsed_cycles = 100;
+        let mut shard1 = DramStats::new(1);
+        shard1.enable_activation_log();
+        shard1.per_rank[0].record(MemCommand::Read);
+        shard1.log_activation(20, 3, 7);
+        shard1.elapsed_cycles = 90;
+        merged.absorb_shard(shard0, 0);
+        merged.absorb_shard(shard1, 16);
+        assert_eq!(merged.per_rank.len(), 2);
+        assert_eq!(merged.totals().activates, 1);
+        assert_eq!(merged.totals().reads, 1);
+        assert_eq!(merged.elapsed_cycles, 100);
+        let log = merged.activation_log.as_ref().unwrap();
+        assert_eq!(log, &vec![(10, 3, 7), (20, 19, 7)]);
+        let per_row = merged.activations_per_row.as_ref().unwrap();
+        assert_eq!(per_row[&(3, 7)], 1);
+        assert_eq!(per_row[&(19, 7)], 1);
     }
 
     #[test]

@@ -257,7 +257,10 @@ mod tests {
         // 64ms / 46.25ns ~ 1.38M activations.
         assert!(per_bank > 1_300_000 && per_bank < 1_450_000);
         let per_rank_faw = t.max_acts_in_window_per_rank(t.t_refw);
-        assert!(per_rank_faw > per_bank, "tFAW bound is rank-wide and looser per bank");
+        assert!(
+            per_rank_faw > per_bank,
+            "tFAW bound is rank-wide and looser per bank"
+        );
     }
 
     #[test]

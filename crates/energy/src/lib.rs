@@ -167,8 +167,8 @@ impl DramEnergyModel {
         let s = &self.spec;
         // IDD0 is measured over a full tRC with the row open for tRAS; the
         // incremental energy above background is:
-        let incremental_ma_ns = s.idd0 * s.t_rc_ns - s.idd3n * s.t_ras_ns
-            - s.idd2n * (s.t_rc_ns - s.t_ras_ns);
+        let incremental_ma_ns =
+            s.idd0 * s.t_rc_ns - s.idd3n * s.t_ras_ns - s.idd2n * (s.t_rc_ns - s.t_ras_ns);
         s.vdd * incremental_ma_ns.max(0.0) * 1e-12 * s.devices_per_rank
     }
 
@@ -214,11 +214,7 @@ impl DramEnergyModel {
             // its banks holds an open row. Summed bank-active cycles divided
             // by the bank count gives a lower bound; using the maximum of
             // that and zero keeps the estimate stable for idle runs.
-            let active_bank_cycles = stats
-                .active_bank_cycles
-                .get(rank_idx)
-                .copied()
-                .unwrap_or(0);
+            let active_bank_cycles = stats.active_bank_cycles.get(rank_idx).copied().unwrap_or(0);
             let active_s = self
                 .cycles_to_seconds(active_bank_cycles)
                 .min(elapsed_s * 16.0);

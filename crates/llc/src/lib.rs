@@ -331,8 +331,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_line_size() {
-        let mut c = LlcConfig::default();
-        c.line_bytes = 48;
+        let c = LlcConfig {
+            line_bytes: 48,
+            ..LlcConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().field(), "line_bytes");
     }
 

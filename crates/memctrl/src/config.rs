@@ -119,8 +119,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_queues() {
-        let mut c = MemCtrlConfig::default();
-        c.read_queue_capacity = 0;
+        let c = MemCtrlConfig {
+            read_queue_capacity: 0,
+            ..MemCtrlConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().field(), "read_queue_capacity");
     }
 

@@ -65,6 +65,31 @@ impl CtrlStats {
         }
     }
 
+    /// Element-wise sum of two counter sets (used to aggregate the
+    /// per-channel controllers of a sharded memory subsystem).
+    pub fn merged(&self, other: &CtrlStats) -> CtrlStats {
+        let mut out = self.clone();
+        out.accepted_requests += other.accepted_requests;
+        out.rejected_queue_full += other.rejected_queue_full;
+        out.rejected_quota += other.rejected_quota;
+        out.row_hits += other.row_hits;
+        out.row_misses += other.row_misses;
+        out.row_conflicts += other.row_conflicts;
+        out.reads_completed += other.reads_completed;
+        out.writes_completed += other.writes_completed;
+        out.victim_refreshes_performed += other.victim_refreshes_performed;
+        out.auto_refreshes += other.auto_refreshes;
+        out.activations_delayed_by_defense += other.activations_delayed_by_defense;
+        out.total_read_latency += other.total_read_latency;
+        for (&thread, &count) in &other.reads_per_thread {
+            *out.reads_per_thread.entry(thread).or_insert(0) += count;
+        }
+        for (&thread, &latency) in &other.read_latency_per_thread {
+            *out.read_latency_per_thread.entry(thread).or_insert(0) += latency;
+        }
+        out
+    }
+
     /// Row-buffer hit rate over all column commands.
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses + self.row_conflicts;

@@ -2,6 +2,7 @@
 
 use bh_types::{ConfigError, Cycle, DramAddress, ThreadId};
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 use std::fmt;
 
 /// The RowHammer threshold `N_RH`: the minimum number of activations to a
@@ -124,6 +125,37 @@ impl DefenseStats {
     pub fn record_activation(&mut self) {
         self.observed_activations += 1;
     }
+
+    /// Element-wise sum of two counter sets (used to aggregate the
+    /// per-channel defense instances of a sharded memory subsystem).
+    pub fn merged(&self, other: &DefenseStats) -> DefenseStats {
+        DefenseStats {
+            observed_activations: self.observed_activations + other.observed_activations,
+            victim_refreshes: self.victim_refreshes + other.victim_refreshes,
+            blocked_activations: self.blocked_activations + other.blocked_activations,
+            blacklist_insertions: self.blacklist_insertions + other.blacklist_insertions,
+        }
+    }
+}
+
+/// Upcasting support for trait objects: every `'static` type implements
+/// this automatically, so a `dyn RowHammerDefense` can be downcast to its
+/// concrete mechanism (e.g. to flip a BlockHammer-specific switch on the
+/// defense instance a channel shard owns).
+pub trait AsAny {
+    /// The value as `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// The value as `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// Interface between the memory controller and a RowHammer defense.
@@ -146,7 +178,7 @@ impl DefenseStats {
 /// mappings except the reactive-refresh baselines, which — exactly as the
 /// paper argues — must assume the controller-visible adjacency equals the
 /// physical adjacency to identify victims.
-pub trait RowHammerDefense {
+pub trait RowHammerDefense: AsAny {
     /// Short mechanism name used in reports ("PARA", "Graphene", ...).
     fn name(&self) -> &'static str;
 

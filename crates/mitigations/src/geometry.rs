@@ -7,6 +7,12 @@ use serde::{Deserialize, Serialize};
 /// per-thread state and to convert addresses into flat indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DefenseGeometry {
+    /// The memory channel this defense instance protects. Defenses are
+    /// instantiated once per channel (the paper's BlockHammer lives in each
+    /// per-channel memory controller); all addresses a defense observes are
+    /// channel-local, so `total_banks` and every index below span a single
+    /// channel.
+    pub channel: usize,
     /// Ranks per channel.
     pub ranks_per_channel: usize,
     /// Bank groups per rank.
@@ -32,6 +38,7 @@ impl Default for DefenseGeometry {
     /// DDR4-2400 timings at a 3.2 GHz controller clock.
     fn default() -> Self {
         Self {
+            channel: 0,
             ranks_per_channel: 1,
             bank_groups_per_rank: 4,
             banks_per_group: 4,
@@ -64,6 +71,14 @@ impl DefenseGeometry {
     /// refresh window (bounded by `tRC`).
     pub fn max_acts_per_bank_per_refresh_window(&self) -> u64 {
         self.refresh_window_cycles / self.t_rc_cycles.max(1)
+    }
+
+    /// Returns a copy of this geometry for the defense instance protecting
+    /// `channel`. Only the channel index changes: every per-channel shard
+    /// of a sharded memory subsystem has the same shape.
+    pub fn for_channel(mut self, channel: usize) -> Self {
+        self.channel = channel;
+        self
     }
 
     /// Returns a copy with the refresh window divided by `factor` — the

@@ -118,10 +118,8 @@ impl RowHammerDefense for Graphene {
             let start = bank.spillover + 1;
             bank.counters.insert(row, start);
             start
-        } else if let Some((&victim_row, &victim_count)) = bank
-            .counters
-            .iter()
-            .find(|(_, &c)| c <= bank.spillover)
+        } else if let Some((&victim_row, &victim_count)) =
+            bank.counters.iter().find(|(_, &c)| c <= bank.spillover)
         {
             // Replace an entry whose count has fallen to the spillover
             // level: the new row inherits spillover + 1 as a safe upper
@@ -196,9 +194,7 @@ mod tests {
         let aggressor = DramAddress::new(0, 0, 0, 0, 500, 0);
         let mut refreshes = 0usize;
         for i in 0..10_000u64 {
-            refreshes += g
-                .on_activation(i * 148, ThreadId::new(0), &aggressor)
-                .len();
+            refreshes += g.on_activation(i * 148, ThreadId::new(0), &aggressor).len();
         }
         // 10_000 activations / threshold 1_000 = 10 crossings, two victims
         // each.
@@ -226,11 +222,15 @@ mod tests {
         for i in 0..300_000u64 {
             let row = (i * 7919) % 64; // 64 rows hammered round-robin
             *true_counts.entry(row).or_insert(0) += 1;
-            g.on_activation(i * 148, ThreadId::new(0), &DramAddress::new(0, 0, 0, 0, row, 0));
+            g.on_activation(
+                i * 148,
+                ThreadId::new(0),
+                &DramAddress::new(0, 0, 0, 0, row, 0),
+            );
         }
         let bank = &g.banks[0];
         for (row, true_count) in true_counts {
-            let bound = bank.counters.get(&row).copied().unwrap_or(bank.spillover) ;
+            let bound = bank.counters.get(&row).copied().unwrap_or(bank.spillover);
             // The estimate may exceed the true count (upper bound) but the
             // true count must never exceed estimate + what previous resets
             // erased; with no reset in this horizon the bound must hold.

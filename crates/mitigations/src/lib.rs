@@ -45,9 +45,7 @@ mod prohit;
 mod twice;
 
 pub use cbt::Cbt;
-pub use defense::{
-    DefenseStats, MetadataFootprint, RowHammerDefense, RowHammerThreshold,
-};
+pub use defense::{AsAny, DefenseStats, MetadataFootprint, RowHammerDefense, RowHammerThreshold};
 pub use geometry::{BlastModel, DefenseGeometry};
 pub use graphene::Graphene;
 pub use mrloc::MrLoc;

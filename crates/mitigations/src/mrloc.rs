@@ -71,8 +71,7 @@ impl MrLoc {
             // boost; the boost decays linearly towards the queue tail.
             Some(pos) => {
                 let weight = 1.0 - pos as f64 / QUEUE_ENTRIES as f64;
-                self.base_probability
-                    + (self.max_probability - self.base_probability) * weight
+                self.base_probability + (self.max_probability - self.base_probability) * weight
             }
             None => self.base_probability,
         }
@@ -163,9 +162,7 @@ mod tests {
         let mut hammer_refreshes = 0usize;
         let mut scan_refreshes = 0usize;
         for i in 0..50_000u64 {
-            hammer_refreshes += hammer
-                .on_activation(i, ThreadId::new(0), &aggressor)
-                .len();
+            hammer_refreshes += hammer.on_activation(i, ThreadId::new(0), &aggressor).len();
             let scanned = DramAddress::new(0, 0, 0, 0, (i * 97) % 60_000, 0);
             scan_refreshes += scan.on_activation(i, ThreadId::new(0), &scanned).len();
         }

@@ -38,11 +38,7 @@ impl TwiCe {
     ///
     /// `prune_interval` is the pruning period in cycles; the original
     /// design prunes once per auto-refresh interval (tREFI).
-    pub fn new(
-        n_rh: RowHammerThreshold,
-        prune_interval: Cycle,
-        geometry: DefenseGeometry,
-    ) -> Self {
+    pub fn new(n_rh: RowHammerThreshold, prune_interval: Cycle, geometry: DefenseGeometry) -> Self {
         let n_star = n_rh.double_sided().get();
         let refresh_threshold = (n_star / 2).max(1);
         // Number of pruning intervals per refresh window.
@@ -194,7 +190,11 @@ mod tests {
         let slow = DramAddress::new(0, 0, 0, 0, 5, 0);
         // One activation, then silence long enough for several prunes.
         d.on_activation(0, ThreadId::new(0), &slow);
-        d.on_activation(10_000_000, ThreadId::new(0), &DramAddress::new(0, 0, 0, 1, 9, 0));
+        d.on_activation(
+            10_000_000,
+            ThreadId::new(0),
+            &DramAddress::new(0, 0, 0, 1, 9, 0),
+        );
         let bank = d.geometry.global_bank(&slow);
         assert!(
             !d.tables[bank].contains_key(&5),

@@ -78,7 +78,10 @@ impl DefenseKind {
     /// Builds the defense for the given RowHammer threshold and geometry.
     ///
     /// `t_refi_cycles` paces the mechanisms that piggyback on refresh
-    /// operations (PRoHIT's table service, TWiCe's pruning).
+    /// operations (PRoHIT's table service, TWiCe's pruning). `seed` is the
+    /// *run* seed: the instance's random stream is decorrelated per channel
+    /// via [`DefenseGeometry::channel`] (channel 0 keeps the run seed
+    /// unchanged, preserving single-channel reproducibility).
     pub fn build(
         &self,
         n_rh: RowHammerThreshold,
@@ -86,6 +89,7 @@ impl DefenseKind {
         t_refi_cycles: u64,
         seed: u64,
     ) -> Box<dyn RowHammerDefense> {
+        let seed = Self::seed_for_channel(seed, geometry.channel);
         match self {
             DefenseKind::Baseline => Box::new(NoMitigation::new()),
             DefenseKind::Para => Box::new(Para::new(n_rh, TARGET_FAILURE, geometry, seed)),
@@ -104,9 +108,43 @@ impl DefenseKind {
             }
             DefenseKind::BlockHammerObserve => {
                 let config = BlockHammerConfig::for_rowhammer_threshold(n_rh, &geometry);
-                Box::new(BlockHammer::new(config, geometry, OperatingMode::ObserveOnly))
+                Box::new(BlockHammer::new(
+                    config,
+                    geometry,
+                    OperatingMode::ObserveOnly,
+                ))
             }
         }
+    }
+}
+
+impl DefenseKind {
+    /// Derives the seed of channel `channel`'s defense instance from the
+    /// run seed. Channel 0 keeps the run seed unchanged, so a one-channel
+    /// sharded system reproduces the unsharded behaviour bit for bit;
+    /// further channels get decorrelated streams.
+    pub fn seed_for_channel(seed: u64, channel: usize) -> u64 {
+        seed ^ (channel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Builds one independent defense instance per memory channel, as the
+    /// paper instantiates BlockHammer once per memory controller.
+    ///
+    /// `geometry` describes a single channel (see
+    /// [`DefenseGeometry::channel`]); instance `i` receives
+    /// `geometry.for_channel(i)`, which also decorrelates its random
+    /// stream (see [`DefenseKind::build`]).
+    pub fn build_per_channel(
+        &self,
+        channels: usize,
+        n_rh: RowHammerThreshold,
+        geometry: DefenseGeometry,
+        t_refi_cycles: u64,
+        seed: u64,
+    ) -> Vec<Box<dyn RowHammerDefense>> {
+        (0..channels)
+            .map(|channel| self.build(n_rh, geometry.for_channel(channel), t_refi_cycles, seed))
+            .collect()
     }
 }
 

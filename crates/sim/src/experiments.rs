@@ -8,8 +8,8 @@
 use crate::defense_factory::DefenseKind;
 use crate::metrics::{average_metrics, MultiProgramMetrics, RunResult};
 use crate::system::SystemBuilder;
-use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
-use mitigations::RowHammerThreshold;
+use blockhammer::{BlockHammer, BlockHammerConfig};
+use mitigations::{AsAny, RowHammerThreshold};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use workloads::{benign_catalog, WorkloadCategory, WorkloadMix, WorkloadSpec};
@@ -131,8 +131,7 @@ pub fn figure4(scale: &ExperimentScale, paper_n_rh: u64) -> Vec<Figure4Row> {
                 .rowhammer_threshold(paper_n_rh)
                 .add_workload(workload.synthetic.clone(), scale.benign_instructions)
                 .run();
-            let time_ratio =
-                protected.threads[0].cycles as f64 / baseline.threads[0].cycles as f64;
+            let time_ratio = protected.threads[0].cycles as f64 / baseline.threads[0].cycles as f64;
             let energy_ratio =
                 protected.dram_energy_joules() / baseline.dram_energy_joules().max(1e-18);
             per_category
@@ -150,7 +149,7 @@ pub fn figure4(scale: &ExperimentScale, paper_n_rh: u64) -> Vec<Figure4Row> {
             });
         }
     }
-    rows.sort_by(|a, b| (a.category.clone(), a.defense.clone()).cmp(&(b.category.clone(), b.defense.clone())));
+    rows.sort_by_key(|row| (row.category.clone(), row.defense.clone()));
     rows
 }
 
@@ -227,7 +226,11 @@ pub fn figure5(scale: &ExperimentScale, paper_n_rh: u64) -> Vec<MultiProgramRow>
 pub fn figure6(scale: &ExperimentScale, thresholds: &[u64]) -> Vec<MultiProgramRow> {
     let mut rows = Vec::new();
     for &n_rh in thresholds {
-        rows.extend(multiprogram_study(scale, n_rh, &DefenseKind::figure_6_set()));
+        rows.extend(multiprogram_study(
+            scale,
+            n_rh,
+            &DefenseKind::figure_6_set(),
+        ));
     }
     rows
 }
@@ -246,8 +249,13 @@ fn multiprogram_study(
         let baseline_metrics: Vec<MultiProgramMetrics> = mixes
             .iter()
             .map(|mix| {
-                let (run, alone) =
-                    run_mix(scale, mix, DefenseKind::Baseline, paper_n_rh, &mut alone_cache);
+                let (run, alone) = run_mix(
+                    scale,
+                    mix,
+                    DefenseKind::Baseline,
+                    paper_n_rh,
+                    &mut alone_cache,
+                );
                 MultiProgramMetrics::compute(&run, &alone)
             })
             .collect();
@@ -354,25 +362,57 @@ pub fn false_positive_study(scale: &ExperimentScale, paper_n_rh: u64) -> FalsePo
     for workload in &mix.benign {
         builder = builder.add_workload(workload.synthetic.clone(), scale.benign_instructions);
     }
+    // Re-derive the per-channel BlockHammer configuration for the
+    // theoretical tDelay bound (the defense instances inside the system use
+    // the same derivation).
     let geometry = builder.geometry_preview();
     let n_rh_effective = builder.effective_n_rh();
     let config = BlockHammerConfig::for_rowhammer_threshold(
         RowHammerThreshold::new(n_rh_effective),
         &geometry,
     );
-    let mut defense = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
-    defense.enable_false_positive_tracking();
     let clock_hz = 3.2e9;
-    let (system, _) = builder.build();
-    let result = system.run(&mut defense);
-    let stats = defense.blockhammer_stats();
+    let mut system = builder.build();
+    for channel in 0..system.channels() {
+        system
+            .defense_mut(channel)
+            .as_any_mut()
+            .downcast_mut::<BlockHammer>()
+            .expect("the false-positive study runs under BlockHammer")
+            .enable_false_positive_tracking();
+    }
+    let (result, defenses) = system.run_into_parts();
+    // Aggregate exact-tracking statistics across the per-channel instances.
+    let per_channel: Vec<&BlockHammer> = defenses
+        .iter()
+        .filter_map(|defense| defense.as_any().downcast_ref::<BlockHammer>())
+        .collect();
+    let false_positives: u64 = per_channel
+        .iter()
+        .map(|bh| bh.blockhammer_stats().false_positive_delays)
+        .sum();
+    // Pool the delay samples of every channel so the percentiles are over
+    // the whole system's delay distribution, not a max of per-channel
+    // percentiles.
+    let mut pooled_delays: Vec<u64> = per_channel
+        .iter()
+        .flat_map(|bh| bh.blockhammer_stats().delay_samples.iter().copied())
+        .collect();
+    pooled_delays.sort_unstable();
+    let percentile = |p: f64| {
+        if pooled_delays.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (pooled_delays.len() - 1) as f64).round() as usize;
+        pooled_delays[rank.min(pooled_delays.len() - 1)]
+    };
     let to_us = |cycles: u64| cycles as f64 / clock_hz * 1e6;
     FalsePositiveStudy {
-        false_positive_rate: stats
-            .false_positive_rate(result.defense_stats.observed_activations.max(1)),
-        delay_p50_us: to_us(stats.delay_percentile(50.0)),
-        delay_p90_us: to_us(stats.delay_percentile(90.0)),
-        delay_p100_us: to_us(stats.delay_percentile(100.0)),
+        false_positive_rate: false_positives as f64
+            / result.defense_stats.observed_activations.max(1) as f64,
+        delay_p50_us: to_us(percentile(50.0)),
+        delay_p90_us: to_us(percentile(90.0)),
+        delay_p100_us: to_us(percentile(100.0)),
         t_delay_us: config.t_delay_us(clock_hz),
     }
 }

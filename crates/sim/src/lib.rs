@@ -1,10 +1,11 @@
 //! # sim
 //!
 //! The full-system simulation harness: trace-driven cores, a shared LLC,
-//! the FR-FCFS memory controller, the DDR4 device model, the energy model
-//! and a pluggable RowHammer defense, wired together and driven cycle by
-//! cycle (the Rust counterpart of the paper's Ramulator + DRAMPower
-//! infrastructure).
+//! and a channel-sharded memory subsystem — one FR-FCFS memory controller,
+//! DDR4 device model and RowHammer-defense instance per channel — plus the
+//! energy model, wired together and driven cycle by cycle (the Rust
+//! counterpart of the paper's Ramulator + DRAMPower infrastructure). See
+//! [`subsystem`] for the sharding design.
 //!
 //! On top of the [`System`] runner, the [`experiments`] module provides the
 //! drivers that regenerate the paper's figures and tables (single-core
@@ -36,10 +37,12 @@
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod subsystem;
 
 mod defense_factory;
 mod system;
 
 pub use defense_factory::DefenseKind;
-pub use metrics::{MultiProgramMetrics, RunResult, ThreadResult};
+pub use metrics::{ChannelStats, MultiProgramMetrics, RunResult, ThreadResult};
+pub use subsystem::MemorySubsystem;
 pub use system::{System, SystemBuilder, SystemConfig};

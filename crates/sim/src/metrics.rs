@@ -32,6 +32,29 @@ pub struct ThreadResult {
     pub memory_requests: u64,
 }
 
+/// End-of-run statistics of one memory-channel shard (its controller,
+/// DRAM device and defense instance).
+///
+/// `RunResult::dram` / `ctrl` / `defense_stats` are the merged,
+/// system-wide views; the per-channel entries let experiments check shard
+/// balance and per-channel defense behaviour. Activation logs are moved
+/// into the merged [`RunResult::dram`] during aggregation, so the
+/// per-channel `dram.activation_log` is always `None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Channel index.
+    pub channel: usize,
+    /// Name of the defense instance protecting this channel.
+    pub defense: String,
+    /// DRAM command and state statistics of this channel (ranks indexed
+    /// channel-locally).
+    pub dram: DramStats,
+    /// Controller statistics of this channel.
+    pub ctrl: CtrlStats,
+    /// Defense counters of this channel's instance.
+    pub defense_stats: DefenseStats,
+}
+
 /// Complete outcome of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -45,10 +68,12 @@ pub struct RunResult {
     pub total_cycles: Cycle,
     /// Per-thread results.
     pub threads: Vec<ThreadResult>,
-    /// DRAM command and state statistics.
+    /// DRAM command and state statistics, merged across channels.
     pub dram: DramStats,
-    /// Memory controller statistics.
+    /// Memory controller statistics, merged across channels.
     pub ctrl: CtrlStats,
+    /// Per-channel shard statistics, in channel order.
+    pub per_channel: Vec<ChannelStats>,
     /// LLC hits.
     pub llc_hits: u64,
     /// LLC misses.
@@ -184,6 +209,7 @@ mod tests {
             threads,
             dram: DramStats::new(1),
             ctrl: CtrlStats::default(),
+            per_channel: Vec::new(),
             llc_hits: 0,
             llc_misses: 0,
             energy: EnergyBreakdown {

@@ -4,9 +4,7 @@
 //! series of the paper's figures so the reproduction can be compared
 //! side-by-side with the published plots (see EXPERIMENTS.md).
 
-use crate::experiments::{
-    FalsePositiveStudy, Figure4Row, MultiProgramRow, RhliStudy, Table8Row,
-};
+use crate::experiments::{FalsePositiveStudy, Figure4Row, MultiProgramRow, RhliStudy, Table8Row};
 
 /// Renders the Figure 4 rows (normalized execution time and DRAM energy per
 /// defense and workload category).
@@ -93,7 +91,12 @@ pub fn render_table8(rows: &[Table8Row]) -> String {
             .unwrap_or_else(|| "-".to_owned());
         out.push_str(&format!(
             "{:<24} {:<4} {:>12} {:>12.1} {:>14.2} {:>14.2}\n",
-            row.name, row.category, paper_mpki, row.paper_rbcpki, row.measured_mpki, row.measured_rbcpki
+            row.name,
+            row.category,
+            paper_mpki,
+            row.paper_rbcpki,
+            row.measured_mpki,
+            row.measured_rbcpki
         ));
     }
     out

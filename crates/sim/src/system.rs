@@ -1,13 +1,14 @@
-//! The cycle-level full-system model: cores + LLC + memory controller +
-//! DRAM + defense.
+//! The cycle-level full-system model: cores + LLC + the channel-sharded
+//! memory subsystem (one controller + DRAM device + defense per channel).
 
 use crate::defense_factory::DefenseKind;
 use crate::metrics::{RunResult, ThreadResult};
-use bh_types::{AccessType, Cycle, ReqId, ThreadId, TraceRecord};
+use crate::subsystem::{merge_channel_stats, MemorySubsystem, ShardReqId};
+use bh_types::{AccessType, Cycle, ThreadId, TraceRecord};
 use cpu::{Core, CoreConfig, MemorySink};
 use energy::{Ddr4PowerSpec, DramEnergyModel};
 use llc::{AccessResult, Llc, LlcConfig};
-use memctrl::{MemCtrlConfig, MemoryController};
+use memctrl::MemCtrlConfig;
 use mitigations::{DefenseGeometry, RowHammerDefense, RowHammerThreshold};
 use workloads::{AttackSpec, DoubleSidedAttack, SyntheticSpec};
 
@@ -61,16 +62,21 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
-    /// The defense geometry implied by this configuration for `threads`
-    /// hardware threads.
+    /// The per-channel defense geometry implied by this configuration for
+    /// `threads` hardware threads (for channel 0; defenses for other
+    /// channels differ only by [`DefenseGeometry::channel`]).
+    ///
+    /// Defenses are instantiated once per channel, so `total_banks` spans a
+    /// single channel — with one channel this is the whole system.
     pub fn defense_geometry(&self, threads: usize) -> DefenseGeometry {
         let org = &self.memctrl.organization;
         let timings = self.memctrl.timings.into_cycles(&self.memctrl.clock);
         DefenseGeometry {
+            channel: 0,
             ranks_per_channel: org.ranks,
             bank_groups_per_rank: org.bank_groups,
             banks_per_group: org.banks_per_group,
-            total_banks: org.total_banks(),
+            total_banks: org.banks_per_channel(),
             rows_per_bank: org.rows_per_bank,
             threads: threads.max(1),
             refresh_window_cycles: timings.t_refw,
@@ -89,30 +95,40 @@ impl SystemConfig {
 /// system can be borrowed mutably at the same time).
 struct Uncore {
     llc: Llc,
-    ctrl: MemoryController,
+    mem: MemorySubsystem,
     /// Waiters per outstanding LLC line fetch: line address -> (core, token).
     line_waiters: HashMap<u64, Vec<(usize, u64)>>,
     /// Waiters per cache-bypassing read: request id -> (core, token).
-    direct_waiters: HashMap<ReqId, (usize, u64)>,
+    direct_waiters: HashMap<ShardReqId, (usize, u64)>,
     /// LLC hits completing after the hit latency: (ready, core, token).
     hit_queue: VecDeque<(Cycle, usize, u64)>,
-    /// Line fetches that could not yet be accepted by the controller.
-    fetch_queue: VecDeque<(ThreadId, u64)>,
-    /// Dirty writebacks that could not yet be accepted by the controller.
-    writeback_queue: VecDeque<(ThreadId, u64)>,
+    /// Per-channel line fetches that could not yet be accepted by the
+    /// channel's controller (sharded so a busy channel cannot head-of-line
+    /// block another channel's fetches).
+    fetch_queues: Vec<VecDeque<(ThreadId, u64)>>,
+    /// Per-channel dirty writebacks that could not yet be accepted.
+    writeback_queues: Vec<VecDeque<(ThreadId, u64)>>,
     /// Lines that must be marked dirty when their fill arrives
     /// (write-allocate stores).
     dirty_on_fill: HashSet<u64>,
     /// Outstanding line-fetch requests: request id -> line address.
-    line_fetch_reqs: HashMap<ReqId, u64>,
+    line_fetch_reqs: HashMap<ShardReqId, u64>,
     next_token: u64,
     hit_latency: Cycle,
+}
+
+impl Uncore {
+    /// Whether a fetch of `line` is already queued or in flight on its
+    /// channel (used to merge misses to the same line).
+    fn line_fetch_pending(&self, channel: usize, line: u64) -> bool {
+        self.line_fetch_reqs.values().any(|&l| l == line)
+            || self.fetch_queues[channel].iter().any(|&(_, l)| l == line)
+    }
 }
 
 /// Memory-side adapter handed to a core during its tick.
 struct CoreSink<'a> {
     uncore: &'a mut Uncore,
-    defense: &'a mut dyn RowHammerDefense,
     core_index: usize,
 }
 
@@ -132,12 +148,14 @@ impl MemorySink for CoreSink<'_> {
             AccessType::Read
         };
         if bypass_cache {
-            match uncore.ctrl.enqueue(thread, address, access, now, self.defense) {
+            match uncore.mem.enqueue(thread, address, access, now) {
                 Ok(req_id) => {
                     uncore.next_token += 1;
                     let token = uncore.next_token;
                     if !is_write {
-                        uncore.direct_waiters.insert(req_id, (self.core_index, token));
+                        uncore
+                            .direct_waiters
+                            .insert(req_id, (self.core_index, token));
                     }
                     Some(token)
                 }
@@ -166,11 +184,11 @@ impl MemorySink for CoreSink<'_> {
                     } else {
                         uncore.dirty_on_fill.insert(line);
                     }
+                    let channel = uncore.mem.channel_of(line);
                     if uncore.llc.is_miss_pending(address)
-                        && !uncore.line_fetch_reqs.values().any(|&l| l == line)
-                        && !uncore.fetch_queue.iter().any(|&(_, l)| l == line)
+                        && !uncore.line_fetch_pending(channel, line)
                     {
-                        uncore.fetch_queue.push_back((thread, line));
+                        uncore.fetch_queues[channel].push_back((thread, line));
                     }
                     Some(token)
                 }
@@ -193,26 +211,27 @@ impl System {
     /// Creates a system running the given per-thread traces. Thread `i`
     /// runs `traces[i]`; `is_attacker[i]` marks threads excluded from the
     /// run-completion criterion (they run until the benign threads finish).
+    /// `defenses` holds one independent defense instance per memory
+    /// channel, in channel order.
     ///
     /// # Panics
     ///
-    /// Panics if no traces are supplied or the configuration is invalid.
+    /// Panics if no traces are supplied, the configuration is invalid, or
+    /// `defenses` does not have one entry per channel.
     pub fn new(
         config: SystemConfig,
         traces: Vec<(String, BoxedTrace, bool, u64)>,
+        defenses: Vec<Box<dyn RowHammerDefense>>,
     ) -> Self {
         assert!(!traces.is_empty(), "a system needs at least one thread");
-        let mut ctrl = MemoryController::new(config.memctrl.clone());
-        if config.enable_activation_log {
-            ctrl.enable_activation_log();
-        }
+        let mem = MemorySubsystem::new(&config.memctrl, defenses, config.enable_activation_log);
+        let channels = mem.channels();
         let llc = Llc::new(config.llc);
         let hit_latency = config.llc.hit_latency;
         let mut cores = Vec::new();
         let mut core_names = Vec::new();
         let mut core_is_attacker = Vec::new();
-        for (index, (name, trace, is_attacker, instruction_limit)) in
-            traces.into_iter().enumerate()
+        for (index, (name, trace, is_attacker, instruction_limit)) in traces.into_iter().enumerate()
         {
             let core_config = CoreConfig {
                 instruction_limit,
@@ -229,12 +248,12 @@ impl System {
             core_is_attacker,
             uncore: Uncore {
                 llc,
-                ctrl,
+                mem,
                 line_waiters: HashMap::new(),
                 direct_waiters: HashMap::new(),
                 hit_queue: VecDeque::new(),
-                fetch_queue: VecDeque::new(),
-                writeback_queue: VecDeque::new(),
+                fetch_queues: vec![VecDeque::new(); channels],
+                writeback_queues: vec![VecDeque::new(); channels],
                 dirty_on_fill: HashSet::new(),
                 line_fetch_reqs: HashMap::new(),
                 next_token: 0,
@@ -253,22 +272,36 @@ impl System {
         self.cores.len()
     }
 
-    fn tick(&mut self, now: Cycle, defense: &mut dyn RowHammerDefense) {
+    /// Number of memory-channel shards.
+    pub fn channels(&self) -> usize {
+        self.uncore.mem.channels()
+    }
+
+    /// Mutable access to the defense instance protecting `channel`, e.g.
+    /// to enable mechanism-specific instrumentation (downcast via
+    /// [`mitigations::AsAny`]) before calling [`System::run`].
+    pub fn defense_mut(&mut self, channel: usize) -> &mut dyn RowHammerDefense {
+        self.uncore.mem.defense_mut(channel)
+    }
+
+    fn tick(&mut self, now: Cycle) {
         let uncore = &mut self.uncore;
-        // 1. Memory controller: issue commands, collect completions.
-        for completed in uncore.ctrl.tick(now, defense) {
+        // 1. Memory subsystem: every channel shard issues commands in
+        //    lockstep; collect the completions of all shards.
+        for (channel, completed) in uncore.mem.tick(now) {
             if completed.request.is_victim_refresh() || completed.request.access.is_write() {
                 continue;
             }
-            if let Some(line) = uncore.line_fetch_reqs.remove(&completed.request.id) {
+            let req_id = (channel, completed.request.id);
+            if let Some(line) = uncore.line_fetch_reqs.remove(&req_id) {
                 let fill = uncore.llc.fill(line);
                 if uncore.dirty_on_fill.remove(&line) {
                     // Re-apply the write-allocated store so the line is dirty.
                     let _ = uncore.llc.access(completed.request.thread, line, true);
                 }
                 if let Some(writeback) = fill.writeback {
-                    uncore
-                        .writeback_queue
+                    let wb_channel = uncore.mem.channel_of(writeback);
+                    uncore.writeback_queues[wb_channel]
                         .push_back((completed.request.thread, writeback));
                 }
                 if let Some(waiters) = uncore.line_waiters.remove(&line) {
@@ -276,9 +309,7 @@ impl System {
                         self.cores[core_index].on_memory_complete(token);
                     }
                 }
-            } else if let Some((core_index, token)) =
-                uncore.direct_waiters.remove(&completed.request.id)
-            {
+            } else if let Some((core_index, token)) = uncore.direct_waiters.remove(&req_id) {
                 self.cores[core_index].on_memory_complete(token);
             }
         }
@@ -290,37 +321,31 @@ impl System {
             uncore.hit_queue.pop_front();
             self.cores[core_index].on_memory_complete(token);
         }
-        // 3. Retry pending line fetches and writebacks.
-        while let Some(&(thread, line)) = uncore.fetch_queue.front() {
-            match uncore
-                .ctrl
-                .enqueue(thread, line, AccessType::Read, now, defense)
-            {
-                Ok(req_id) => {
-                    uncore.line_fetch_reqs.insert(req_id, line);
-                    uncore.fetch_queue.pop_front();
+        // 3. Retry pending line fetches and writebacks, per channel.
+        for channel in 0..uncore.mem.channels() {
+            while let Some(&(thread, line)) = uncore.fetch_queues[channel].front() {
+                match uncore.mem.enqueue(thread, line, AccessType::Read, now) {
+                    Ok(req_id) => {
+                        uncore.line_fetch_reqs.insert(req_id, line);
+                        uncore.fetch_queues[channel].pop_front();
+                    }
+                    Err(_) => break,
                 }
-                Err(_) => break,
             }
         }
-        while let Some(&(thread, addr)) = uncore.writeback_queue.front() {
-            match uncore
-                .ctrl
-                .enqueue(thread, addr, AccessType::Write, now, defense)
-            {
-                Ok(_) => {
-                    uncore.writeback_queue.pop_front();
+        for channel in 0..uncore.mem.channels() {
+            while let Some(&(thread, addr)) = uncore.writeback_queues[channel].front() {
+                match uncore.mem.enqueue(thread, addr, AccessType::Write, now) {
+                    Ok(_) => {
+                        uncore.writeback_queues[channel].pop_front();
+                    }
+                    Err(_) => break,
                 }
-                Err(_) => break,
             }
         }
         // 4. Cores issue and retire.
         for (core_index, core) in self.cores.iter_mut().enumerate() {
-            let mut sink = CoreSink {
-                uncore,
-                defense,
-                core_index,
-            };
+            let mut sink = CoreSink { uncore, core_index };
             core.tick(now, &mut sink);
         }
     }
@@ -328,11 +353,18 @@ impl System {
     /// Runs the system to completion (every non-attacker thread reaches its
     /// instruction limit) or to the configured cycle bound, and returns the
     /// collected results.
-    pub fn run(mut self, defense: &mut dyn RowHammerDefense) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_into_parts().0
+    }
+
+    /// Like [`System::run`], but also hands back the per-channel defense
+    /// instances for post-run inspection (e.g. mechanism-specific counters
+    /// reachable by downcasting through [`mitigations::AsAny`]).
+    pub fn run_into_parts(mut self) -> (RunResult, Vec<Box<dyn RowHammerDefense>>) {
         let mut now: Cycle = 0;
         let mut finish_cycle: Vec<Option<Cycle>> = vec![None; self.cores.len()];
         loop {
-            self.tick(now, defense);
+            self.tick(now);
             let mut all_done = true;
             for (index, core) in self.cores.iter().enumerate() {
                 if core.is_finished() {
@@ -347,11 +379,6 @@ impl System {
             now += 1;
         }
         let end = now.max(1);
-        let (dram_stats, ctrl_stats) = self.uncore.ctrl.finish(end);
-        let clock_hz = self.config.memctrl.clock.frequency_hz();
-        let energy_model = DramEnergyModel::new(Ddr4PowerSpec::micron_8gb_x8(), clock_hz);
-        let energy = energy_model.breakdown(&dram_stats);
-        let total_banks = self.config.memctrl.organization.total_banks();
         let threads = self
             .cores
             .iter()
@@ -359,9 +386,6 @@ impl System {
             .map(|(index, core)| {
                 let cycles = finish_cycle[index].unwrap_or(end).max(1);
                 let instructions = core.retired_instructions();
-                let rhli = (0..total_banks)
-                    .map(|bank| defense.rhli(ThreadId::new(index), bank))
-                    .fold(0.0, f64::max);
                 ThreadResult {
                     thread: index,
                     name: self.core_names[index].clone(),
@@ -369,24 +393,35 @@ impl System {
                     instructions,
                     cycles,
                     ipc: instructions as f64 / cycles as f64,
-                    max_rhli: rhli,
+                    max_rhli: self.uncore.mem.max_rhli(ThreadId::new(index)),
                     memory_requests: core.stats().memory_requests,
                 }
             })
             .collect();
-        RunResult {
-            defense: defense.name().to_owned(),
+        let defense_name = self.uncore.mem.defense_name().to_owned();
+        let mut per_channel = self.uncore.mem.finish(end);
+        let (dram_stats, ctrl_stats, defense_stats) = merge_channel_stats(
+            &mut per_channel,
+            self.config.memctrl.organization.banks_per_channel(),
+        );
+        let clock_hz = self.config.memctrl.clock.frequency_hz();
+        let energy_model = DramEnergyModel::new(Ddr4PowerSpec::micron_8gb_x8(), clock_hz);
+        let energy = energy_model.breakdown(&dram_stats);
+        let result = RunResult {
+            defense: defense_name,
             n_rh: self.config.n_rh,
             time_scale: self.config.time_scale,
             total_cycles: end,
             threads,
             dram: dram_stats,
             ctrl: ctrl_stats,
+            per_channel,
             llc_hits: self.uncore.llc.stats().hits,
             llc_misses: self.uncore.llc.stats().misses,
             energy,
-            defense_stats: defense.stats(),
-        }
+            defense_stats,
+        };
+        (result, self.uncore.mem.into_defenses())
     }
 }
 
@@ -442,6 +477,19 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the number of memory channels. Each channel becomes an
+    /// independent shard (controller + DRAM device + defense instance);
+    /// the default of 1 reproduces the paper's Table 5 system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn channels(mut self, channels: usize) -> Self {
+        assert!(channels > 0, "a system needs at least one memory channel");
+        self.config.memctrl.organization.channels = channels;
+        self
+    }
+
     /// Sets the random seed (workload placement and probabilistic
     /// defenses).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -493,19 +541,21 @@ impl SystemBuilder {
         (self.paper_n_rh / self.config.time_scale).max(16)
     }
 
-    /// The defense geometry the built system will use (for callers that
-    /// construct their own defense and run it via [`System::run`]).
+    /// The per-channel defense geometry the built system will use (for
+    /// callers deriving mechanism configurations, e.g. BlockHammer's
+    /// Table 1 parameters).
     pub fn geometry_preview(&self) -> DefenseGeometry {
         let threads = self.workloads.len() + usize::from(self.with_attacker);
         self.config.defense_geometry(threads.max(1))
     }
 
-    /// Builds the system and its defense.
+    /// Builds the system, instantiating one independent defense per memory
+    /// channel.
     ///
     /// # Panics
     ///
     /// Panics if no workload (and no attacker) was added.
-    pub fn build(mut self) -> (System, Box<dyn RowHammerDefense>) {
+    pub fn build(mut self) -> System {
         assert!(
             !self.workloads.is_empty() || self.with_attacker,
             "add at least one workload or an attacker"
@@ -513,7 +563,8 @@ impl SystemBuilder {
         self.config.n_rh = self.effective_n_rh();
         let thread_count = self.workloads.len() + usize::from(self.with_attacker);
         let geometry = self.config.defense_geometry(thread_count);
-        let defense = self.defense.build(
+        let defenses = self.defense.build_per_channel(
+            self.config.memctrl.organization.channels,
             RowHammerThreshold::new(self.config.n_rh),
             geometry,
             self.config.t_refi_cycles(),
@@ -523,10 +574,8 @@ impl SystemBuilder {
         let mapping = self.config.memctrl.mapping;
         let mut traces: Vec<(String, BoxedTrace, bool, u64)> = Vec::new();
         if self.with_attacker {
-            let attack = DoubleSidedAttack::new(AttackSpec::default_for(
-                mapping,
-                organization_geometry,
-            ));
+            let attack =
+                DoubleSidedAttack::new(AttackSpec::default_for(mapping, organization_geometry));
             traces.push((
                 "attacker.double_sided".to_owned(),
                 Box::new(attack),
@@ -548,13 +597,12 @@ impl SystemBuilder {
                 *limit,
             ));
         }
-        (System::new(self.config, traces), defense)
+        System::new(self.config, traces, defenses)
     }
 
     /// Builds and runs the system, returning the collected results.
     pub fn run(self) -> RunResult {
-        let (system, mut defense) = self.build();
-        system.run(defense.as_mut())
+        self.build().run()
     }
 }
 
@@ -609,17 +657,22 @@ mod tests {
         let baseline = quick_builder()
             .defense(DefenseKind::Baseline)
             .add_attacker()
-            .add_workload(SyntheticSpec::high_intensity("victim", 0), victim_instructions)
+            .add_workload(
+                SyntheticSpec::high_intensity("victim", 0),
+                victim_instructions,
+            )
             .run();
         let protected = quick_builder()
             .defense(DefenseKind::BlockHammer)
             .add_attacker()
-            .add_workload(SyntheticSpec::high_intensity("victim", 0), victim_instructions)
+            .add_workload(
+                SyntheticSpec::high_intensity("victim", 0),
+                victim_instructions,
+            )
             .run();
         // The attacker's memory throughput (requests per cycle) must drop.
-        let attacker_rate = |r: &RunResult| {
-            r.threads[0].memory_requests as f64 / r.total_cycles as f64
-        };
+        let attacker_rate =
+            |r: &RunResult| r.threads[0].memory_requests as f64 / r.total_cycles as f64;
         assert!(
             attacker_rate(&protected) < attacker_rate(&baseline),
             "BlockHammer must reduce the attacker's memory throughput \
@@ -636,8 +689,119 @@ mod tests {
             benign_ipc(&baseline),
             benign_ipc(&protected)
         );
-        assert!(protected.threads[0].max_rhli > 0.0, "attacker RHLI must be non-zero");
-        assert_eq!(protected.threads[1].max_rhli, 0.0, "benign RHLI must stay zero");
+        assert!(
+            protected.threads[0].max_rhli > 0.0,
+            "attacker RHLI must be non-zero"
+        );
+        assert_eq!(
+            protected.threads[1].max_rhli, 0.0,
+            "benign RHLI must stay zero"
+        );
+    }
+
+    #[test]
+    fn explicit_single_channel_matches_the_default_path() {
+        // `.channels(1)` must be the identical code path to the default
+        // builder, bit for bit.
+        let run = |builder: SystemBuilder| {
+            builder
+                .defense(DefenseKind::BlockHammer)
+                .add_attacker()
+                .add_workload(SyntheticSpec::high_intensity("h0", 0), 3_000)
+                .run()
+        };
+        let default_run = run(quick_builder());
+        let explicit_run = run(quick_builder().channels(1));
+        assert_eq!(default_run.total_cycles, explicit_run.total_cycles);
+        assert_eq!(default_run.per_channel.len(), 1);
+        assert_eq!(explicit_run.per_channel.len(), 1);
+        for (a, b) in default_run.threads.iter().zip(&explicit_run.threads) {
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.memory_requests, b.memory_requests);
+            assert_eq!(a.max_rhli, b.max_rhli);
+        }
+        assert_eq!(default_run.dram.totals(), explicit_run.dram.totals());
+        assert_eq!(default_run.ctrl.row_hits, explicit_run.ctrl.row_hits);
+        assert_eq!(
+            default_run.defense_stats.observed_activations,
+            explicit_run.defense_stats.observed_activations
+        );
+    }
+
+    #[test]
+    fn merged_stats_equal_the_single_shard_stats_for_one_channel() {
+        let result = quick_builder()
+            .defense(DefenseKind::BlockHammer)
+            .add_workload(SyntheticSpec::high_intensity("h0", 0), 3_000)
+            .run();
+        assert_eq!(result.per_channel.len(), 1);
+        let shard = &result.per_channel[0];
+        assert_eq!(shard.channel, 0);
+        assert_eq!(shard.defense, "BlockHammer");
+        assert_eq!(shard.dram.totals(), result.dram.totals());
+        assert_eq!(shard.ctrl.accepted_requests, result.ctrl.accepted_requests);
+        assert_eq!(
+            shard.defense_stats.observed_activations,
+            result.defense_stats.observed_activations
+        );
+    }
+
+    #[test]
+    fn two_channel_system_shards_traffic_and_defenses() {
+        let result = quick_builder()
+            .channels(2)
+            .defense(DefenseKind::BlockHammer)
+            .add_workload(SyntheticSpec::high_intensity("h0", 0), 3_000)
+            .add_workload(SyntheticSpec::medium_intensity("m1", 1), 3_000)
+            .run();
+        assert_eq!(result.per_channel.len(), 2);
+        // Both channels must see traffic (the MOP mapping interleaves
+        // consecutive lines across channels) ...
+        for shard in &result.per_channel {
+            assert!(
+                shard.dram.totals().activates > 0,
+                "channel {} received no activations",
+                shard.channel
+            );
+            assert!(shard.defense_stats.observed_activations > 0);
+        }
+        // ... and the merged views must be the sums of the shards.
+        let summed_activates: u64 = result
+            .per_channel
+            .iter()
+            .map(|shard| shard.dram.totals().activates)
+            .sum();
+        assert_eq!(result.dram.totals().activates, summed_activates);
+        let summed_accepted: u64 = result
+            .per_channel
+            .iter()
+            .map(|shard| shard.ctrl.accepted_requests)
+            .sum();
+        assert_eq!(result.ctrl.accepted_requests, summed_accepted);
+        // Two ranks overall: one per channel, concatenated in channel order.
+        assert_eq!(result.dram.per_rank.len(), 2);
+        assert!(result.threads.iter().all(|t| t.instructions >= 3_000));
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let run = || {
+            quick_builder()
+                .channels(2)
+                .defense(DefenseKind::Para)
+                .add_attacker()
+                .add_workload(SyntheticSpec::high_intensity("h0", 0), 2_000)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.dram.totals(), b.dram.totals());
+        for (x, y) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(x.instructions, y.instructions);
+            assert_eq!(x.memory_requests, y.memory_requests);
+        }
     }
 
     #[test]

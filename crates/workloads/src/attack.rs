@@ -115,7 +115,10 @@ impl ManySidedAttack {
     /// Panics if `sides` is zero or the aggressor rows would fall outside
     /// the bank.
     pub fn new(spec: AttackSpec, sides: u32) -> Self {
-        assert!(sides > 0, "a many-sided attack needs at least one aggressor");
+        assert!(
+            sides > 0,
+            "a many-sided attack needs at least one aggressor"
+        );
         let reach = (sides as u64).div_ceil(2);
         assert!(
             spec.victim_row >= reach && spec.victim_row + reach < spec.geometry.rows,
@@ -209,7 +212,11 @@ mod tests {
             .take(2 * s.geometry.total_banks())
             .map(|r| {
                 let d = mapping.decode(&geometry, r.address);
-                d.global_bank_index(geometry.ranks, geometry.bank_groups, geometry.banks_per_group)
+                d.global_bank_index(
+                    geometry.ranks,
+                    geometry.bank_groups,
+                    geometry.banks_per_group,
+                )
             })
             .collect();
         assert_eq!(banks.len(), s.geometry.total_banks());

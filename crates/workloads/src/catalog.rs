@@ -129,15 +129,7 @@ pub fn benign_catalog() -> Vec<WorkloadSpec> {
         cacheable("401.bzip2.like", C::Low, 0.3, 0.1, 0.3, zipf, 8 << 20),
         cacheable("445.gobmk.like", C::Low, 0.4, 0.1, 0.4, zipf, 8 << 20),
         cacheable("458.sjeng.like", C::Low, 0.3, 0.2, 0.3, zipf, 16 << 20),
-        uncached(
-            "movnti.rowmaj.like",
-            C::Low,
-            0.2,
-            stream,
-            1 << 30,
-            1.0,
-            2.0,
-        ),
+        uncached("movnti.rowmaj.like", C::Low, 0.2, stream, 1 << 30, 1.0, 2.0),
         uncached("ycsb.A.like", C::Low, 0.4, zipf, 1 << 30, 0.5, 2.0),
         // --- M category: 1 <= RBCPKI < 5 -----------------------------------
         uncached("ycsb.F.like", C::Medium, 1.0, zipf, 2 << 30, 0.5, 5.0),
@@ -205,24 +197,8 @@ pub fn benign_catalog() -> Vec<WorkloadSpec> {
             1.0,
             20.0,
         ),
-        uncached(
-            "freescale1.like",
-            C::High,
-            336.8,
-            rand,
-            2 << 30,
-            0.3,
-            250.0,
-        ),
-        uncached(
-            "freescale2.like",
-            C::High,
-            370.4,
-            rand,
-            2 << 30,
-            0.3,
-            250.0,
-        ),
+        uncached("freescale1.like", C::High, 336.8, rand, 2 << 30, 0.3, 250.0),
+        uncached("freescale2.like", C::High, 370.4, rand, 2 << 30, 0.3, 250.0),
     ]
 }
 
@@ -234,8 +210,7 @@ mod tests {
     fn catalog_has_thirty_entries_with_unique_names() {
         let catalog = benign_catalog();
         assert_eq!(catalog.len(), 30);
-        let names: std::collections::HashSet<&str> =
-            catalog.iter().map(|w| w.name()).collect();
+        let names: std::collections::HashSet<&str> = catalog.iter().map(|w| w.name()).collect();
         assert_eq!(names.len(), 30);
     }
 

@@ -64,7 +64,10 @@ impl WorkloadMix {
     /// Panics if `threads` is less than two (an attack-present mix needs at
     /// least one benign thread to measure).
     pub fn with_attacker(index: usize, threads: usize, seed: u64) -> Self {
-        assert!(threads >= 2, "an attack mix needs at least one benign thread");
+        assert!(
+            threads >= 2,
+            "an attack mix needs at least one benign thread"
+        );
         let mut mix = Self::benign(index, threads - 1, seed ^ 0xA77A);
         mix.name = format!("mix-{index:03}-attack");
         mix.kind = MixKind::WithAttacker;

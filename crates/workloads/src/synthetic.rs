@@ -272,10 +272,7 @@ mod tests {
         };
         let ws = spec.working_set_bytes;
         let trace: Vec<_> = spec.build(3).take(20_000).collect();
-        let hot = trace
-            .iter()
-            .filter(|r| r.address < ws / 10)
-            .count() as f64;
+        let hot = trace.iter().filter(|r| r.address < ws / 10).count() as f64;
         let share = hot / trace.len() as f64;
         assert!(
             share > 0.3,
@@ -299,9 +296,7 @@ mod tests {
             name: "colmaj".into(),
             category: WorkloadCategory::High,
             target_mpki: 0.0,
-            pattern: AccessPattern::Strided {
-                stride_bytes: 8192,
-            },
+            pattern: AccessPattern::Strided { stride_bytes: 8192 },
             working_set_bytes: 1 << 30,
             write_fraction: 1.0,
             bypass_cache: true,

@@ -53,8 +53,7 @@ fn main() {
     summarize("BlockHammer (proactive throttling)", &blockhammer);
 
     let benign_ipc = |r: &RunResult| r.benign_threads().map(|t| t.ipc).sum::<f64>();
-    let improvement =
-        (benign_ipc(&blockhammer) / benign_ipc(&baseline) - 1.0) * 100.0;
+    let improvement = (benign_ipc(&blockhammer) / benign_ipc(&baseline) - 1.0) * 100.0;
     println!(
         "BlockHammer changes aggregate benign IPC by {improvement:+.1}% relative to the \
          unprotected baseline while the attack is running \

@@ -18,7 +18,10 @@ fn main() {
         .rowhammer_threshold(32_768)
         .llc_capacity(1 << 20)
         .min_cycles(60_000)
-        .add_workload(SyntheticSpec::high_intensity("quickstart.workload", 0), 20_000)
+        .add_workload(
+            SyntheticSpec::high_intensity("quickstart.workload", 0),
+            20_000,
+        )
         .run();
 
     let thread = &result.threads[0];
@@ -32,8 +35,14 @@ fn main() {
         result.llc_misses as f64 / total as f64 * 100.0
     });
     println!("  DRAM activations    : {}", result.dram.totals().activates);
-    println!("  row-buffer hit rate : {:.1} %", result.ctrl.row_hit_rate() * 100.0);
-    println!("  DRAM energy         : {:.3} mJ", result.dram_energy_joules() * 1e3);
+    println!(
+        "  row-buffer hit rate : {:.1} %",
+        result.ctrl.row_hit_rate() * 100.0
+    );
+    println!(
+        "  DRAM energy         : {:.3} mJ",
+        result.dram_energy_joules() * 1e3
+    );
     println!(
         "  activations delayed by BlockHammer: {}",
         result.ctrl.activations_delayed_by_defense

@@ -33,7 +33,10 @@ fn main() {
         } else {
             "benign"
         };
-        println!("{:<28} {:>10.2} {:>12}", thread.name, thread.max_rhli, verdict);
+        println!(
+            "{:<28} {:>10.2} {:>12}",
+            thread.name, thread.max_rhli, verdict
+        );
     }
     println!(
         "\nAn operating system could deschedule or kill any thread whose RHLI\n\

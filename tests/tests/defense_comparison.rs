@@ -62,9 +62,8 @@ fn blockhammer_improves_benign_performance_under_attack() {
 fn attacker_activation_share_shrinks_under_blockhammer() {
     let baseline = attack_system(DefenseKind::Baseline).run();
     let blockhammer = attack_system(DefenseKind::BlockHammer).run();
-    let activation_rate = |r: &sim::RunResult| {
-        r.dram.totals().activates as f64 / r.total_cycles as f64
-    };
+    let activation_rate =
+        |r: &sim::RunResult| r.dram.totals().activates as f64 / r.total_cycles as f64;
     assert!(
         activation_rate(&blockhammer) < activation_rate(&baseline),
         "total activation rate should drop when the attacker is throttled \
@@ -72,7 +71,10 @@ fn attacker_activation_share_shrinks_under_blockhammer() {
         activation_rate(&baseline),
         activation_rate(&blockhammer)
     );
-    assert!(blockhammer.ctrl.rejected_quota > 0, "the quota never engaged");
+    assert!(
+        blockhammer.ctrl.rejected_quota > 0,
+        "the quota never engaged"
+    );
 }
 
 /// Every defense can run the attack mix to completion (no deadlocks, no
@@ -102,7 +104,10 @@ fn every_defense_completes_the_attack_mix() {
                 thread.instructions
             );
         }
-        assert!(result.dram.totals().activates > 0, "{kind:?}: no activations");
+        assert!(
+            result.dram.totals().activates > 0,
+            "{kind:?}: no activations"
+        );
         assert!(
             result.dram_energy_joules() > 0.0,
             "{kind:?}: zero DRAM energy"

@@ -1,12 +1,62 @@
 //! Property-based tests on cross-crate invariants.
 
+use bh_types::{AddressMapping, AddressMappingGeometry};
 use blockhammer::config::{compute_t_delay, BlockHammerConfig};
 use blockhammer::{security, DualCountingBloomFilter};
 use mitigations::{DefenseGeometry, RowHammerThreshold};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
+/// The paper's Table 5 geometry widened to `channels` channels.
+fn geometry_with_channels(channels: usize) -> AddressMappingGeometry {
+    AddressMappingGeometry {
+        channels,
+        ..AddressMappingGeometry::default()
+    }
+}
+
 proptest! {
+    /// `decode` followed by `encode` is the identity on line-aligned
+    /// physical addresses for every mapping scheme and for 1-, 2- and
+    /// 4-channel organizations — the invariant the channel-sharded memory
+    /// subsystem relies on to route requests.
+    #[test]
+    fn channel_decode_encode_round_trips(line in 0u64..(8u64 << 30) / 64, channel_exp in 0u32..3) {
+        let channels = 1usize << channel_exp;
+        let geometry = geometry_with_channels(channels);
+        for mapping in [AddressMapping::Mop { mop_lines: 4 }, AddressMapping::RoBaRaCoCh] {
+            let phys = (line * 64) % geometry.capacity_bytes();
+            let decoded = mapping.decode(&geometry, phys);
+            prop_assert!(decoded.channel() < channels);
+            prop_assert_eq!(mapping.encode(&geometry, &decoded), phys);
+        }
+    }
+
+    /// Splitting an address into `(channel, channel-local address)` and
+    /// decoding the local part against the single-channel geometry yields
+    /// the same DRAM coordinates as a full-system decode, for 1/2/4
+    /// channels — so each shard's controller sees exactly the addresses it
+    /// would see in an unsharded multi-channel controller.
+    #[test]
+    fn channel_local_split_preserves_coordinates(line in 0u64..(8u64 << 30) / 64, channel_exp in 0u32..3) {
+        let channels = 1usize << channel_exp;
+        let geometry = geometry_with_channels(channels);
+        let local_geometry = geometry.per_channel();
+        for mapping in [AddressMapping::Mop { mop_lines: 4 }, AddressMapping::RoBaRaCoCh] {
+            let phys = (line * 64) % geometry.capacity_bytes();
+            let full = mapping.decode(&geometry, phys);
+            let (channel, local_phys) = mapping.to_channel_local(&geometry, phys);
+            prop_assert_eq!(channel, full.channel());
+            prop_assert_eq!(channel, mapping.channel_of(&geometry, phys));
+            let local = mapping.decode(&local_geometry, local_phys);
+            prop_assert_eq!(local.channel(), 0);
+            prop_assert_eq!(local.rank(), full.rank());
+            prop_assert_eq!(local.bank_group(), full.bank_group());
+            prop_assert_eq!(local.bank(), full.bank());
+            prop_assert_eq!(local.row(), full.row());
+            prop_assert_eq!(local.column(), full.column());
+        }
+    }
     /// A counting Bloom filter never under-estimates: for any insertion
     /// sequence, every row's estimate is at least its true insertion count
     /// (the "no false negatives" property the security argument relies on).
