@@ -1,27 +1,51 @@
 //! Throughput of the memory-controller substrate: how fast the FR-FCFS
 //! scheduler + DDR4 timing model simulate, with and without a defense in
 //! the loop (the simulator-cost ablation for this reproduction).
+//!
+//! The scheduling hot path is benchmarked under both queue-scan policies —
+//! the flat `LinearScan` baseline and the per-bank `BankedIndex` default —
+//! on a read-only stream and on a mixed read/write stream, so the speedup
+//! of the indexed queues over the linear scans is measured directly
+//! (`cargo bench -p bench --bench controller_scheduling`).
 
 use bh_types::{AccessType, ThreadId};
 use blockhammer::{BlockHammer, BlockHammerConfig, OperatingMode};
 use criterion::{criterion_group, criterion_main, Criterion};
-use memctrl::{MemCtrlConfig, MemoryController};
+use memctrl::{MemCtrlConfig, MemoryController, SchedulerPolicy};
 use mitigations::{DefenseGeometry, NoMitigation, RowHammerDefense, RowHammerThreshold};
 use std::hint::black_box;
 
-fn run_controller(defense: &mut dyn RowHammerDefense, requests: u64) -> u64 {
-    let mut ctrl = MemoryController::new(MemCtrlConfig::default());
+/// Issues `requests` demand accesses and runs the controller until all
+/// complete; every fourth access is a write when `mixed` is set. Returns
+/// the simulated cycle count (constant across policies — only wall time
+/// differs).
+fn run_controller(
+    policy: SchedulerPolicy,
+    defense: &mut dyn RowHammerDefense,
+    requests: u64,
+    mixed: bool,
+) -> u64 {
+    let config = MemCtrlConfig {
+        scheduler: policy,
+        ..MemCtrlConfig::default()
+    };
+    let mut ctrl = MemoryController::new(config);
     let mut issued = 0u64;
     let mut cycle = 0u64;
     let mut completed = 0u64;
     while completed < requests {
         if issued < requests {
             let addr = (issued * 4096) % (1 << 30);
+            let access = if mixed && issued % 4 == 0 {
+                AccessType::Write
+            } else {
+                AccessType::Read
+            };
             if ctrl
                 .enqueue(
                     ThreadId::new((issued % 8) as usize),
                     addr,
-                    AccessType::Read,
+                    access,
                     cycle,
                     defense,
                 )
@@ -39,23 +63,34 @@ fn run_controller(defense: &mut dyn RowHammerDefense, requests: u64) -> u64 {
 fn bench_controller(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory_controller");
     group.sample_size(10);
-    group.bench_function("fr_fcfs_no_defense_2k_reads", |b| {
-        b.iter(|| {
-            let mut defense = NoMitigation::new();
-            black_box(run_controller(&mut defense, 2_000))
+    for (label, policy) in [
+        ("linear_scan", SchedulerPolicy::LinearScan),
+        ("banked_index", SchedulerPolicy::BankedIndex),
+    ] {
+        group.bench_function(format!("fr_fcfs_{label}_2k_reads"), |b| {
+            b.iter(|| {
+                let mut defense = NoMitigation::new();
+                black_box(run_controller(policy, &mut defense, 2_000, false))
+            });
         });
-    });
-    group.bench_function("fr_fcfs_blockhammer_2k_reads", |b| {
-        b.iter(|| {
-            let geometry = DefenseGeometry::default();
-            let config = BlockHammerConfig::for_rowhammer_threshold(
-                RowHammerThreshold::new(32_768),
-                &geometry,
-            );
-            let mut defense = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
-            black_box(run_controller(&mut defense, 2_000))
+        group.bench_function(format!("fr_fcfs_{label}_2k_mixed"), |b| {
+            b.iter(|| {
+                let mut defense = NoMitigation::new();
+                black_box(run_controller(policy, &mut defense, 2_000, true))
+            });
         });
-    });
+        group.bench_function(format!("fr_fcfs_{label}_blockhammer_2k_reads"), |b| {
+            b.iter(|| {
+                let geometry = DefenseGeometry::default();
+                let config = BlockHammerConfig::for_rowhammer_threshold(
+                    RowHammerThreshold::new(32_768),
+                    &geometry,
+                );
+                let mut defense = BlockHammer::new(config, geometry, OperatingMode::FullFunctional);
+                black_box(run_controller(policy, &mut defense, 2_000, false))
+            });
+        });
+    }
     group.finish();
 }
 

@@ -1,5 +1,8 @@
 //! End-to-end simulation throughput: one quick single-core run and one
-//! quick attack run, to track the cost of regenerating the paper's figures.
+//! quick attack run (to track the cost of regenerating the paper's
+//! figures), plus multiprogrammed runs across 1/2/4 memory channels with
+//! sequential and scoped-thread shard stepping, so simulator throughput
+//! versus channel count is measured directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sim::{DefenseKind, SystemBuilder};
@@ -30,6 +33,22 @@ fn attack_run() -> f64 {
         .ipc
 }
 
+/// A two-thread multiprogrammed run on `channels` channels; total cycles
+/// are identical for sequential and parallel stepping, so the benchmark
+/// isolates the stepping cost.
+fn multi_channel_run(channels: usize, parallel: bool) -> u64 {
+    SystemBuilder::new()
+        .time_scale(8192)
+        .channels(channels)
+        .parallel_channels(parallel)
+        .defense(DefenseKind::BlockHammer)
+        .llc_capacity(1 << 20)
+        .add_workload(SyntheticSpec::high_intensity("bench.h", 0), 2_000)
+        .add_workload(SyntheticSpec::medium_intensity("bench.m", 1), 2_000)
+        .run()
+        .total_cycles
+}
+
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_simulation");
     group.sample_size(10);
@@ -39,6 +58,20 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("attack_vs_victim_blockhammer", |b| {
         b.iter(|| black_box(attack_run()))
     });
+    group.finish();
+
+    let mut group = c.benchmark_group("throughput_vs_channels");
+    group.sample_size(10);
+    for channels in [1usize, 2, 4] {
+        group.bench_function(format!("sequential_{channels}ch"), |b| {
+            b.iter(|| black_box(multi_channel_run(channels, false)))
+        });
+    }
+    for channels in [2usize, 4] {
+        group.bench_function(format!("parallel_{channels}ch"), |b| {
+            b.iter(|| black_box(multi_channel_run(channels, true)))
+        });
+    }
     group.finish();
 }
 

@@ -85,6 +85,27 @@ impl DramDevice {
             .open_row()
     }
 
+    /// The currently open row of the bank identified by its flat rank index
+    /// and its flat bank index within the rank, if any.
+    ///
+    /// This is the index-based counterpart of [`DramDevice::open_row`]: a
+    /// scheduler that tracks banks by index (rather than by decoded
+    /// address) can query row-buffer state without materialising a
+    /// [`DramAddress`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn open_row_at(&self, rank_index: usize, bank_in_rank: usize) -> Option<u64> {
+        self.ranks[rank_index].bank(bank_in_rank).open_row()
+    }
+
+    /// Banks per rank (the index space of [`DramDevice::open_row_at`]'s
+    /// second argument).
+    pub fn banks_per_rank(&self) -> usize {
+        self.organization.banks_per_rank()
+    }
+
     /// Earliest cycle at which `cmd` to `addr` could be legally issued, or
     /// `None` if it is illegal in the current state (wrong row open, bank
     /// not activated, ...).

@@ -1,5 +1,6 @@
 //! Memory controller configuration.
 
+use crate::scheduler::SchedulerPolicy;
 use bh_types::{AddressMapping, ConfigError, Cycle, TimeConverter};
 use dram_sim::{DramOrganization, DramTimings};
 use serde::{Deserialize, Serialize};
@@ -32,6 +33,10 @@ pub struct MemCtrlConfig {
     /// Whether periodic auto-refresh is performed. Disabling it is useful
     /// only for focused unit tests.
     pub refresh_enabled: bool,
+    /// How the FR-FCFS scheduling passes scan the demand queues. The two
+    /// policies make identical decisions; [`SchedulerPolicy::LinearScan`]
+    /// exists as the equivalence and benchmark baseline.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl Default for MemCtrlConfig {
@@ -49,6 +54,7 @@ impl Default for MemCtrlConfig {
             write_drain_low: 16,
             command_bus_interval: 3,
             refresh_enabled: true,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 }

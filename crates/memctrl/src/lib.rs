@@ -18,6 +18,11 @@
 //! * on request admission (`inflight_quota`) — AttackThrottler-style
 //!   defenses bound a thread's in-flight requests per bank.
 //!
+//! The FR-FCFS scheduling passes run over per-bank indexed queues by
+//! default ([`SchedulerPolicy::BankedIndex`]); the flat
+//! [`SchedulerPolicy::LinearScan`] reference implementation is retained
+//! and makes bit-identical decisions (see the `scheduler` module docs).
+//!
 //! ## Example
 //!
 //! ```
@@ -41,9 +46,12 @@
 
 mod config;
 mod controller;
+mod queues;
+mod scheduler;
 mod stats;
 
 pub use config::MemCtrlConfig;
 pub use controller::{CompletedRequest, EnqueueError, MemoryController};
 pub use mitigations::RowHammerDefense;
+pub use scheduler::SchedulerPolicy;
 pub use stats::CtrlStats;

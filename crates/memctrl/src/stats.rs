@@ -10,7 +10,7 @@ use std::collections::HashMap;
 /// finds the target row already open, a *miss* finds the bank precharged
 /// (only an ACT is needed), a *conflict* finds a different row open (PRE
 /// then ACT are needed).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CtrlStats {
     /// Demand requests accepted into the queues.
     pub accepted_requests: u64,

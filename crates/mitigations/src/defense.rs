@@ -178,7 +178,11 @@ impl<T: Any> AsAny for T {
 /// mappings except the reactive-refresh baselines, which — exactly as the
 /// paper argues — must assume the controller-visible adjacency equals the
 /// physical adjacency to identify victims.
-pub trait RowHammerDefense: AsAny {
+///
+/// Defenses must be [`Send`]: a channel-sharded memory subsystem steps its
+/// shards (each owning one defense instance) on scoped worker threads, and
+/// every implementation is plain owned data anyway.
+pub trait RowHammerDefense: AsAny + Send {
     /// Short mechanism name used in reports ("PARA", "Graphene", ...).
     fn name(&self) -> &'static str;
 

@@ -8,10 +8,13 @@
 //! [`RowHammerDefense`] per channel (a [`ChannelShard`]), with physical
 //! addresses routed to shards by the address mapping's channel bits.
 //!
-//! Shards step in lockstep, one cycle at a time and always in channel
-//! order, so runs are deterministic; because the shards share no state,
-//! the structure is embarrassingly parallel and a later change can step
-//! them on a thread pool without altering results.
+//! Shards step in lockstep, one cycle at a time and with completions
+//! always collected in channel order, so runs are deterministic. Because
+//! the shards share no state, the lockstep can also be executed on scoped
+//! worker threads ([`MemorySubsystem::set_parallel_stepping`]) without
+//! altering results: each shard ticks independently and the per-shard
+//! completion lists are concatenated in channel order afterwards, which is
+//! exactly the sequential output.
 //!
 //! With `channels = 1` the subsystem degenerates to exactly the
 //! pre-sharding behaviour: addresses pass through unchanged and the single
@@ -46,6 +49,9 @@ pub struct MemorySubsystem {
     geometry: AddressMappingGeometry,
     banks_per_channel: usize,
     shards: Vec<ChannelShard>,
+    /// Step shards on scoped threads instead of sequentially (identical
+    /// results either way; see the module documentation).
+    parallel: bool,
 }
 
 impl MemorySubsystem {
@@ -92,12 +98,19 @@ impl MemorySubsystem {
             geometry: config.organization.geometry(),
             banks_per_channel: config.organization.banks_per_channel(),
             shards,
+            parallel: false,
         }
     }
 
     /// Number of channel shards.
     pub fn channels(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Enables or disables parallel shard stepping. With a single shard
+    /// the setting has no effect (the sequential path is always used).
+    pub fn set_parallel_stepping(&mut self, enabled: bool) {
+        self.parallel = enabled;
     }
 
     /// Banks within one channel (the index space of per-shard defenses).
@@ -142,16 +155,44 @@ impl MemorySubsystem {
             .map(|id| (channel, id))
     }
 
-    /// Advances every shard by one cycle, in channel order (lockstep), and
-    /// returns the completed demand requests tagged with their channel.
+    /// Advances every shard by one cycle (lockstep) and returns the
+    /// completed demand requests tagged with their channel, in channel
+    /// order.
+    ///
+    /// With parallel stepping enabled (and more than one shard), shards
+    /// tick concurrently on scoped threads; the per-shard completion lists
+    /// are then concatenated in channel order, so the output — and
+    /// therefore the whole run — is identical to sequential stepping.
     pub fn tick(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
-        let mut completed = Vec::new();
-        for shard in &mut self.shards {
-            for done in shard.ctrl.tick(now, shard.defense.as_mut()) {
-                completed.push((shard.channel, done));
+        if self.parallel && self.shards.len() > 1 {
+            let per_shard: Vec<(usize, Vec<CompletedRequest>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            (shard.channel, shard.ctrl.tick(now, shard.defense.as_mut()))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("shard tick panicked"))
+                    .collect()
+            });
+            per_shard
+                .into_iter()
+                .flat_map(|(channel, done)| done.into_iter().map(move |d| (channel, d)))
+                .collect()
+        } else {
+            let mut completed = Vec::new();
+            for shard in &mut self.shards {
+                for done in shard.ctrl.tick(now, shard.defense.as_mut()) {
+                    completed.push((shard.channel, done));
+                }
             }
+            completed
         }
-        completed
     }
 
     /// The largest RowHammer likelihood index any shard's defense reports

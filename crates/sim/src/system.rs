@@ -41,6 +41,12 @@ pub struct SystemConfig {
     /// Whether to record every DRAM activation (needed by safety
     /// verification; costs memory).
     pub enable_activation_log: bool,
+    /// Step the per-channel memory shards on scoped threads instead of
+    /// sequentially. Results are identical either way (the shards share no
+    /// state and completions are collected in channel order); this only
+    /// trades per-cycle thread coordination for parallel shard work, which
+    /// pays off for channel-heavy configurations.
+    pub parallel_channels: bool,
     /// Seed for workload generators and probabilistic defenses.
     pub seed: u64,
 }
@@ -56,6 +62,7 @@ impl Default for SystemConfig {
             max_cycles: 2_000_000_000,
             min_cycles: 0,
             enable_activation_log: false,
+            parallel_channels: false,
             seed: 1,
         }
     }
@@ -224,7 +231,8 @@ impl System {
         defenses: Vec<Box<dyn RowHammerDefense>>,
     ) -> Self {
         assert!(!traces.is_empty(), "a system needs at least one thread");
-        let mem = MemorySubsystem::new(&config.memctrl, defenses, config.enable_activation_log);
+        let mut mem = MemorySubsystem::new(&config.memctrl, defenses, config.enable_activation_log);
+        mem.set_parallel_stepping(config.parallel_channels);
         let channels = mem.channels();
         let llc = Llc::new(config.llc);
         let hit_latency = config.llc.hit_latency;
@@ -487,6 +495,15 @@ impl SystemBuilder {
     pub fn channels(mut self, channels: usize) -> Self {
         assert!(channels > 0, "a system needs at least one memory channel");
         self.config.memctrl.organization.channels = channels;
+        self
+    }
+
+    /// Steps the per-channel memory shards on scoped threads instead of
+    /// sequentially. Bit-identical results either way; worthwhile only
+    /// when the per-shard work outweighs the per-cycle thread
+    /// coordination (many channels under heavy traffic).
+    pub fn parallel_channels(mut self, enabled: bool) -> Self {
+        self.config.parallel_channels = enabled;
         self
     }
 
@@ -782,6 +799,35 @@ mod tests {
         // Two ranks overall: one per channel, concatenated in channel order.
         assert_eq!(result.dram.per_rank.len(), 2);
         assert!(result.threads.iter().all(|t| t.instructions >= 3_000));
+    }
+
+    #[test]
+    fn parallel_channel_stepping_is_bit_identical_to_sequential() {
+        let run = |parallel: bool| {
+            quick_builder()
+                .channels(2)
+                .min_cycles(20_000)
+                .parallel_channels(parallel)
+                .defense(DefenseKind::BlockHammer)
+                .add_attacker()
+                .add_workload(SyntheticSpec::high_intensity("h0", 0), 2_000)
+                .run()
+        };
+        let sequential = run(false);
+        let parallel = run(true);
+        assert_eq!(sequential.total_cycles, parallel.total_cycles);
+        assert_eq!(sequential.dram.totals(), parallel.dram.totals());
+        assert_eq!(sequential.ctrl, parallel.ctrl);
+        assert_eq!(
+            sequential.defense_stats.observed_activations,
+            parallel.defense_stats.observed_activations
+        );
+        for (a, b) in sequential.threads.iter().zip(&parallel.threads) {
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.memory_requests, b.memory_requests);
+            assert_eq!(a.max_rhli, b.max_rhli);
+        }
     }
 
     #[test]

@@ -166,3 +166,41 @@ fn four_channel_stats_are_consistent() {
         .sum();
     assert_eq!(result.ctrl.victim_refreshes_performed, summed_victims);
 }
+
+/// `channels = 1` run statistics are pinned to exact values so that any
+/// future change to the scheduling hot path, the completion stream or the
+/// controller bookkeeping that alters single-channel behaviour — however
+/// subtly — fails loudly instead of drifting silently.
+///
+/// The golden values were captured after the FR-FCFS bookkeeping fixes
+/// (stable completion ordering, per-rank refresh scanning) and the
+/// per-bank queue index landed, and are identical in debug and release
+/// builds. They encode the post-fix single-channel behaviour that the
+/// banked and linear scheduling policies both produce.
+#[test]
+fn single_channel_run_stats_are_pinned() {
+    let result = SystemBuilder::new()
+        .time_scale(TEST_TIME_SCALE)
+        .defense(DefenseKind::BlockHammer)
+        .rowhammer_threshold(32_768)
+        .llc_capacity(1 << 20)
+        .min_cycles(60_000)
+        .max_cycles(1_500_000)
+        .add_attacker()
+        .add_workload(SyntheticSpec::high_intensity("victim.high", 0), 3_000)
+        .run();
+    assert_eq!(result.total_cycles, 60_000);
+    assert_eq!(result.dram.totals().activates, 456);
+    assert_eq!(result.ctrl.accepted_requests, 1_546);
+    assert_eq!(result.ctrl.row_hits, 1_546);
+    assert_eq!(result.ctrl.row_conflicts, 408);
+    assert_eq!(result.ctrl.reads_completed, 1_546);
+    assert_eq!(result.ctrl.writes_completed, 0);
+    assert_eq!(result.ctrl.auto_refreshes, 2);
+    assert_eq!(result.ctrl.activations_delayed_by_defense, 208);
+    assert_eq!(result.threads[0].memory_requests, 1_488);
+    assert_eq!(result.threads[1].instructions, 3_000);
+    assert_eq!(result.threads[1].cycles, 7_617);
+    assert_eq!(result.llc_hits, 14);
+    assert_eq!(result.llc_misses, 58);
+}
