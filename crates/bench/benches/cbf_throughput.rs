@@ -33,6 +33,25 @@ fn bench_cbf(c: &mut Criterion) {
                 });
             },
         );
+        // Every insert lands hundreds of epochs after the previous one, so
+        // each pays one epoch catch-up: O(1) arithmetic + generation bumps
+        // with the lazy filter, versus an O(missed-epochs) clear loop with
+        // per-epoch `fill(0)` in the eager implementation.
+        group.bench_with_input(
+            BenchmarkId::new("insert_after_idle_gap", size),
+            &size,
+            |b, &size| {
+                let epoch = 10_000u64;
+                let mut filter = DualCountingBloomFilter::new(size, 4, 8_192, epoch, 1);
+                let mut row = 0u64;
+                let mut cycle = 0u64;
+                b.iter(|| {
+                    row = row.wrapping_add(0x9E37) % 65_536;
+                    cycle += 500 * epoch + 148;
+                    filter.insert(cycle, black_box(row));
+                });
+            },
+        );
     }
     group.finish();
 }

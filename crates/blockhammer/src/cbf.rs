@@ -7,30 +7,83 @@
 //! possible, false negatives are not). Two CBFs used in a time-interleaved
 //! fashion (the "unified Bloom filter" idea) give a rolling-window estimate
 //! that never forgets an aggressor (Section 3.1.1, Figure 3).
+//!
+//! This is the simulator's hottest data structure — every DRAM activation
+//! consults and updates it — so the implementation is tuned accordingly:
+//!
+//! * insert/estimate are allocation-free: a row's counter indices are
+//!   computed once into a stack [`IndexSet`] and shared by the blacklist
+//!   test and both filters of a [`DualCountingBloomFilter`];
+//! * epoch clears are O(1): counters carry a generation stamp instead of
+//!   being eagerly zeroed, so [`CountingBloomFilter::clear`] just bumps the
+//!   filter generation (a counter whose stamp is stale reads as zero);
+//! * catching up after a long idle gap is O(1): when more than one epoch
+//!   boundary passed since the last operation,
+//!   [`DualCountingBloomFilter::advance_to`] computes the final state
+//!   arithmetically instead of looping once per missed epoch.
+//!
+//! All of this is behaviour-preserving: the generation-stamped filter
+//! answers every query exactly as the eager-clear implementation would
+//! (`tests/tests/cbf_equivalence.rs` pins this against a reference
+//! reimplementation across epoch rollovers and reseeds).
 
-use crate::hash::H3HashFamily;
+use crate::hash::{H3HashFamily, IndexSet};
 use bh_types::Cycle;
 
-/// A counting Bloom filter with saturating counters.
+/// Packed filter counter layout: the saturating value in the low 32 bits,
+/// the generation stamp in the high 32 bits. A counter stamped with an
+/// older generation than the filter's current one has been lazily cleared
+/// and reads as zero.
+///
+/// Packing into a plain `u64` keeps the array a single 8-byte load per
+/// counter on the estimate path *and* lets `vec![0u64; size]` use the
+/// zero-page allocation fast path — time-scaled configurations provision
+/// hundreds of thousands of counters per filter, and those pages should
+/// only ever be faulted in when a counter is actually touched.
+/// [`CountingBloomFilter::clear`] eagerly flushes the array on the — in
+/// practice unreachable — stamp wraparound to keep stale stamps from ever
+/// aliasing the current generation.
+#[inline]
+fn unpack(counter: u64) -> (u32, u32) {
+    (counter as u32, (counter >> 32) as u32)
+}
+
+#[inline]
+fn pack(value: u32, stamp: u32) -> u64 {
+    (u64::from(stamp) << 32) | u64::from(value)
+}
+
+/// A counting Bloom filter with saturating counters and O(1) clears.
 #[derive(Debug, Clone)]
 pub struct CountingBloomFilter {
-    counters: Vec<u32>,
+    /// Packed `(stamp << 32) | value` counters; see [`pack`].
+    counters: Vec<u64>,
     hashes: H3HashFamily,
     /// Saturation value of each counter (the paper uses 12-13-bit counters
     /// sized to count up to the blacklisting threshold).
     saturation: u32,
     insertions: u64,
+    /// Current generation; bumped by [`CountingBloomFilter::clear`].
+    generation: u32,
 }
 
 impl CountingBloomFilter {
     /// Creates a filter with `size` counters (power of two), `hash_count`
     /// H3 hash functions and counters saturating at `saturation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_count` is zero or exceeds
+    /// [`MAX_HASH_FUNCTIONS`](crate::hash::MAX_HASH_FUNCTIONS) (a zero-hash
+    /// filter would silently answer zero to every estimate and never
+    /// blacklist anything), or if `size` is not a power of two.
     pub fn new(size: usize, hash_count: usize, saturation: u32, seed: u64) -> Self {
         Self {
             counters: vec![0; size],
             hashes: H3HashFamily::new(hash_count, size, seed),
             saturation,
             insertions: 0,
+            generation: 0,
         }
     }
 
@@ -44,34 +97,86 @@ impl CountingBloomFilter {
         self.insertions
     }
 
+    /// The counter indices `row` maps to under the filter's current hash
+    /// seeds, computed without heap allocation.
+    pub fn index_set(&self, row: u64) -> IndexSet {
+        self.hashes.index_set(row)
+    }
+
     /// Inserts `row`, incrementing all of its counters (saturating).
     pub fn insert(&mut self, row: u64) {
+        let set = self.hashes.index_set(row);
+        self.insert_at(&set);
+    }
+
+    /// Inserts using a precomputed index set (must come from this filter's
+    /// [`CountingBloomFilter::index_set`] under the current seeds).
+    pub fn insert_at(&mut self, set: &IndexSet) {
         self.insertions += 1;
+        let generation = self.generation;
         let saturation = self.saturation;
-        let indices: Vec<usize> = self.hashes.indices(row).collect();
-        for idx in indices {
-            let c = &mut self.counters[idx];
-            if *c < saturation {
-                *c += 1;
+        for &idx in set.as_slice() {
+            let (mut value, stamp) = unpack(self.counters[idx]);
+            if stamp != generation {
+                // Lazily apply the pending clear before counting.
+                value = 0;
             }
+            if value < saturation {
+                value += 1;
+            }
+            self.counters[idx] = pack(value, generation);
         }
     }
 
     /// Returns an upper bound on the number of times `row` was inserted
     /// since the last clear (the minimum of its counters).
     pub fn estimate(&self, row: u64) -> u32 {
+        // Pure queries skip the IndexSet materialization and stream the
+        // hash outputs straight into the min fold.
+        let generation = self.generation;
         self.hashes
             .indices(row)
-            .map(|idx| self.counters[idx])
+            .map(|idx| {
+                let (value, stamp) = unpack(self.counters[idx]);
+                if stamp == generation {
+                    value
+                } else {
+                    0
+                }
+            })
             .min()
-            .unwrap_or(0)
+            .expect("a filter has at least one hash function")
+    }
+
+    /// Estimates using a precomputed index set (must come from this
+    /// filter's [`CountingBloomFilter::index_set`] under the current
+    /// seeds).
+    pub fn estimate_at(&self, set: &IndexSet) -> u32 {
+        debug_assert!(!set.is_empty(), "an index set holds at least one index");
+        let mut min = u32::MAX;
+        for &idx in set.as_slice() {
+            let (value, stamp) = unpack(self.counters[idx]);
+            min = min.min(if stamp == self.generation { value } else { 0 });
+        }
+        min
     }
 
     /// Clears every counter and re-seeds the hash functions so the filter's
     /// aliasing pattern changes (preventing a benign row from being
     /// repeatedly victimized by aliasing with an aggressor).
+    ///
+    /// O(1) in the number of counters: the clear is recorded as a
+    /// generation bump and applied lazily on the next touch of each
+    /// counter. (Exception: once every `u32::MAX` clears the stamp space
+    /// wraps and the array is flushed eagerly so stale stamps can never
+    /// alias the current generation.)
     pub fn clear(&mut self, reseed_value: u64) {
-        self.counters.fill(0);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wraparound: every counter is reset to (value 0,
+            // stamp 0), which reads as a current-generation zero.
+            self.counters.fill(0);
+        }
         self.hashes.reseed(reseed_value);
         self.insertions = 0;
     }
@@ -83,6 +188,9 @@ enum ActiveFilter {
     A,
     B,
 }
+
+/// Base value the per-clear hash reseeds are derived from.
+const RESEED_BASE: u64 = 0xB10C_4A3E;
 
 /// Two counting Bloom filters used in a time-interleaved manner (D-CBF).
 ///
@@ -147,6 +255,11 @@ impl DualCountingBloomFilter {
         self.epoch_cycles
     }
 
+    /// Cycle at which the next clear/swap will happen.
+    pub fn next_swap_at(&self) -> Cycle {
+        self.next_swap
+    }
+
     /// Number of clear (epoch-rollover) operations performed so far.
     pub fn clears(&self) -> u64 {
         self.clears
@@ -168,12 +281,20 @@ impl DualCountingBloomFilter {
     /// for every epoch boundary that has passed. Returns `true` if at least
     /// one swap happened (callers use this to swap their own
     /// epoch-interleaved state, e.g. AttackThrottler counters).
+    ///
+    /// O(1) regardless of how many boundaries passed: a single missed epoch
+    /// takes the ordinary clear-and-swap step; two or more missed epochs
+    /// mean both filters end up cleared, so the final state (clear count,
+    /// active filter, each filter's last reseed) is computed directly.
     pub fn advance_to(&mut self, now: Cycle) -> bool {
-        let mut swapped = false;
-        while now >= self.next_swap {
-            self.next_swap += self.epoch_cycles;
-            self.clears += 1;
-            let reseed = 0xB10C_4A3E_u64 ^ self.clears;
+        if now < self.next_swap {
+            return false;
+        }
+        let missed = (now - self.next_swap) / self.epoch_cycles + 1;
+        self.next_swap += missed * self.epoch_cycles;
+        self.clears += missed;
+        if missed == 1 {
+            let reseed = RESEED_BASE ^ self.clears;
             match self.active {
                 ActiveFilter::A => {
                     self.filter_a.clear(reseed);
@@ -184,19 +305,61 @@ impl DualCountingBloomFilter {
                     self.active = ActiveFilter::A;
                 }
             }
-            swapped = true;
+        } else {
+            // Two or more boundaries passed with no intervening insertions:
+            // both filters were cleared at least once. The filter cleared
+            // *last* is the one that is passive now (its reseed used the
+            // final clear count); the now-active filter's last clear was
+            // the one before it. An odd number of swaps flips the roles.
+            if missed % 2 == 1 {
+                self.active = match self.active {
+                    ActiveFilter::A => ActiveFilter::B,
+                    ActiveFilter::B => ActiveFilter::A,
+                };
+            }
+            let last_reseed = RESEED_BASE ^ self.clears;
+            let previous_reseed = RESEED_BASE ^ (self.clears - 1);
+            match self.active {
+                ActiveFilter::A => {
+                    self.filter_b.clear(last_reseed);
+                    self.filter_a.clear(previous_reseed);
+                }
+                ActiveFilter::B => {
+                    self.filter_a.clear(last_reseed);
+                    self.filter_b.clear(previous_reseed);
+                }
+            }
         }
-        swapped
+        true
     }
 
     /// Inserts an activation of `row` at cycle `now` into both filters.
     pub fn insert(&mut self, now: Cycle, row: u64) {
+        let _ = self.observe(now, row);
+    }
+
+    /// Inserts an activation of `row` at cycle `now` into both filters and
+    /// reports whether the row was already blacklisted at insertion time.
+    ///
+    /// This is the one-stop hot-path entry point: each filter's H3 index
+    /// set is computed exactly once and shared between the blacklist test
+    /// and the insertion (the two filters hash independently, so there is
+    /// one set per filter).
+    pub fn observe(&mut self, now: Cycle, row: u64) -> bool {
         self.advance_to(now);
-        if self.is_blacklisted(row) {
+        let set_a = self.filter_a.index_set(row);
+        let set_b = self.filter_b.index_set(row);
+        let estimate = match self.active {
+            ActiveFilter::A => self.filter_a.estimate_at(&set_a),
+            ActiveFilter::B => self.filter_b.estimate_at(&set_b),
+        };
+        let blacklisted = estimate >= self.blacklist_threshold;
+        if blacklisted {
             self.blacklisted_insertions += 1;
         }
-        self.filter_a.insert(row);
-        self.filter_b.insert(row);
+        self.filter_a.insert_at(&set_a);
+        self.filter_b.insert_at(&set_b);
+        blacklisted
     }
 
     /// The active filter's estimate of `row`'s activation count in the
@@ -253,6 +416,29 @@ mod tests {
         cbf.clear(123);
         assert_eq!(cbf.estimate(7), 0);
         assert_eq!(cbf.insertions(), 0);
+    }
+
+    #[test]
+    fn lazily_cleared_counters_count_again_after_a_clear() {
+        // A counter touched before the clear must restart from zero when
+        // touched again afterwards (the lazy clear applies on first touch).
+        let mut cbf = CountingBloomFilter::new(64, 1, 1000, 3);
+        for _ in 0..10 {
+            cbf.insert(5);
+        }
+        cbf.clear(77);
+        // Find a row that maps onto the same counter as row 5 did before
+        // the reseed; inserting any row must start its counters at 1.
+        cbf.insert(5);
+        assert_eq!(cbf.estimate(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash function")]
+    fn zero_hash_filters_are_rejected() {
+        // A zero-hash filter would silently estimate 0 for every row and
+        // never blacklist anything; construction must fail instead.
+        let _ = CountingBloomFilter::new(256, 0, 10, 1);
     }
 
     #[test]
@@ -332,5 +518,53 @@ mod tests {
         assert!(!d.advance_to(150));
         assert!(d.advance_to(350));
         assert_eq!(d.clears(), 3);
+    }
+
+    #[test]
+    fn arithmetic_catchup_matches_stepping_epoch_by_epoch() {
+        // Jumping over many epoch boundaries at once must land in exactly
+        // the state that stepping over every boundary produces: same clear
+        // count, same active filter, same hash seeds (therefore identical
+        // estimates after fresh insertions).
+        let epoch = 1_000u64;
+        for missed in [2u64, 3, 5, 8, 1_000, 1_001] {
+            let mut jumped = DualCountingBloomFilter::new(256, 4, 50, epoch, 9);
+            let mut stepped = jumped.clone();
+            for i in 0..60u64 {
+                jumped.insert(i, 11);
+                stepped.insert(i, 11);
+            }
+            let target = missed * epoch + 1;
+            jumped.advance_to(target);
+            // Step the reference through every boundary individually.
+            let mut at = epoch;
+            while at <= target {
+                stepped.advance_to(at);
+                at += epoch;
+            }
+            stepped.advance_to(target);
+            assert_eq!(jumped.clears(), stepped.clears(), "missed = {missed}");
+            assert_eq!(jumped.next_swap_at(), stepped.next_swap_at());
+            for row in 0..64u64 {
+                jumped.insert(target + row, row);
+                stepped.insert(target + row, row);
+                assert_eq!(
+                    jumped.estimate(row),
+                    stepped.estimate(row),
+                    "estimates diverged after a {missed}-epoch jump"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observe_reports_blacklisted_insertions() {
+        let mut d = DualCountingBloomFilter::new(1024, 4, 10, 1_000_000, 5);
+        for i in 0..9 {
+            assert!(!d.observe(i, 3));
+        }
+        assert!(!d.observe(9, 3), "tenth insertion reaches the threshold");
+        assert!(d.observe(10, 3), "the row is blacklisted from then on");
+        assert_eq!(d.blacklisted_insertions(), 1);
     }
 }

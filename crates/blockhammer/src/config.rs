@@ -122,7 +122,15 @@ impl BlockHammerConfig {
             return Err(ConfigError::new("cbf_size", "must be a power of two"));
         }
         if self.cbf_hashes == 0 {
+            // A zero-hash filter would estimate 0 for every row and
+            // silently never blacklist anything.
             return Err(ConfigError::new("cbf_hashes", "must be non-zero"));
+        }
+        if self.cbf_hashes > crate::hash::MAX_HASH_FUNCTIONS {
+            return Err(ConfigError::new(
+                "cbf_hashes",
+                "exceeds the supported maximum number of hash functions",
+            ));
         }
         if self.t_cbf_cycles == 0 || self.t_cbf_cycles > self.t_refw_cycles {
             return Err(ConfigError::new(
@@ -305,6 +313,23 @@ mod tests {
         );
         c2.t_cbf_cycles = c2.t_refw_cycles * 2;
         assert_eq!(c2.validate().unwrap_err().field(), "t_cbf_cycles");
+    }
+
+    #[test]
+    fn validate_rejects_hashless_and_oversized_filters() {
+        // cbf_hashes = 0 would make the filter estimate 0 for every row
+        // (it could never blacklist anything); the config must refuse it
+        // before a filter is ever built.
+        let mut c = BlockHammerConfig::for_rowhammer_threshold(
+            RowHammerThreshold::new(32_768),
+            &geometry(),
+        );
+        c.cbf_hashes = 0;
+        assert_eq!(c.validate().unwrap_err().field(), "cbf_hashes");
+        c.cbf_hashes = crate::hash::MAX_HASH_FUNCTIONS + 1;
+        assert_eq!(c.validate().unwrap_err().field(), "cbf_hashes");
+        c.cbf_hashes = crate::hash::MAX_HASH_FUNCTIONS;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -9,6 +9,42 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Maximum number of hash functions per family.
+///
+/// The hot path computes each row's counter indices once into a
+/// fixed-capacity [`IndexSet`] on the stack (no heap allocation), so the
+/// family size is bounded. The paper uses four functions; eight leaves
+/// headroom for ablation studies.
+pub const MAX_HASH_FUNCTIONS: usize = 8;
+
+/// The counter indices of one row, computed once per operation and shared
+/// by every consumer (the blacklist test and both filters of a dual pair).
+///
+/// A fixed-capacity stack buffer, so producing one never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexSet {
+    indices: [usize; MAX_HASH_FUNCTIONS],
+    len: usize,
+}
+
+impl IndexSet {
+    /// The indices as a slice (one entry per hash function).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.indices[..self.len]
+    }
+
+    /// Number of indices held (the family's function count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds no indices (never true for a set produced by
+    /// [`H3HashFamily::index_set`], which requires at least one function).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// A family of `k` H3-class hash functions mapping a row address to `k`
 /// counter indices in `[0, size)`.
 #[derive(Debug, Clone)]
@@ -27,10 +63,15 @@ impl H3HashFamily {
     ///
     /// # Panics
     ///
-    /// Panics if `functions` is zero or `size` is not a power of two (the
-    /// hardware uses a simple bit mask to select the counter index).
+    /// Panics if `functions` is zero or exceeds [`MAX_HASH_FUNCTIONS`], or
+    /// if `size` is not a power of two (the hardware uses a simple bit mask
+    /// to select the counter index).
     pub fn new(functions: usize, size: usize, seed: u64) -> Self {
         assert!(functions > 0, "at least one hash function is required");
+        assert!(
+            functions <= MAX_HASH_FUNCTIONS,
+            "at most {MAX_HASH_FUNCTIONS} hash functions are supported, got {functions}"
+        );
         assert!(
             size.is_power_of_two(),
             "the filter size must be a power of two, got {size}"
@@ -76,6 +117,20 @@ impl H3HashFamily {
                 let x = (row.rotate_left(shift) ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 ((x >> 32) as usize) & (self.size - 1)
             })
+    }
+
+    /// The `k` counter indices for `row` as a stack-allocated [`IndexSet`]
+    /// — same values as [`H3HashFamily::indices`], computed without any
+    /// heap allocation so the result can be shared across consumers.
+    pub fn index_set(&self, row: u64) -> IndexSet {
+        let mut set = IndexSet {
+            indices: [0; MAX_HASH_FUNCTIONS],
+            len: self.seeds.len(),
+        };
+        for (slot, idx) in set.indices.iter_mut().zip(self.indices(row)) {
+            *slot = idx;
+        }
+        set
     }
 }
 
@@ -140,5 +195,28 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_size_is_rejected() {
         let _ = H3HashFamily::new(4, 1000, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash function")]
+    fn zero_functions_are_rejected() {
+        let _ = H3HashFamily::new(0, 1024, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_families_are_rejected() {
+        let _ = H3HashFamily::new(MAX_HASH_FUNCTIONS + 1, 1024, 0);
+    }
+
+    #[test]
+    fn index_set_matches_the_iterator() {
+        let h = H3HashFamily::new(4, 1024, 7);
+        for row in [0u64, 1, 42, 0xFFFF, 0xDEAD_BEEF] {
+            let set = h.index_set(row);
+            assert_eq!(set.len(), 4);
+            assert!(!set.is_empty());
+            assert_eq!(set.as_slice(), h.indices(row).collect::<Vec<_>>());
+        }
     }
 }

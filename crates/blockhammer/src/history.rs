@@ -6,9 +6,16 @@
 //! worst-case number of activations a rank can perform within `tDelay`,
 //! which the four-activation window bounds to `⌈4 · tDelay / tFAW⌉`
 //! (Section 3.1.2).
+//!
+//! The hardware CAM answers "was this row activated recently?" in one
+//! cycle; a software linear scan over the (up to ~900-entry) FIFO per
+//! query would dominate the defense hot path, so the buffer keeps a
+//! row-key index (live entry count + most recent activation cycle per
+//! row) alongside the FIFO and answers membership queries from it in
+//! O(1). The FIFO remains the source of truth for expiry order.
 
 use bh_types::Cycle;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// One history buffer entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,10 +26,20 @@ struct HistoryEntry {
     issued_at: Cycle,
 }
 
+/// Per-row index payload: how many live FIFO entries reference the row and
+/// when it was last activated.
+#[derive(Debug, Clone, Copy)]
+struct RowPresence {
+    live_entries: u32,
+    last_issued: Cycle,
+}
+
 /// A per-rank circular buffer of recent row activations.
 #[derive(Debug, Clone)]
 pub struct HistoryBuffer {
     entries: VecDeque<HistoryEntry>,
+    /// Row-key membership index over the live entries (the CAM model).
+    index: HashMap<u64, RowPresence>,
     capacity: usize,
     /// Entries older than this many cycles are expired.
     window: Cycle,
@@ -43,6 +60,7 @@ impl HistoryBuffer {
         assert!(window > 0, "history window must be non-zero");
         Self {
             entries: VecDeque::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
             capacity,
             window,
             overflows: 0,
@@ -74,12 +92,25 @@ impl HistoryBuffer {
         self.overflows
     }
 
+    /// Removes the oldest FIFO entry and keeps the row index consistent.
+    fn pop_oldest(&mut self) {
+        let Some(front) = self.entries.pop_front() else {
+            return;
+        };
+        match self.index.get_mut(&front.row_key) {
+            Some(presence) if presence.live_entries > 1 => presence.live_entries -= 1,
+            _ => {
+                self.index.remove(&front.row_key);
+            }
+        }
+    }
+
     /// Drops entries older than the window relative to `now` (the hardware
     /// does this continuously by checking the head timestamp every cycle).
     pub fn expire(&mut self, now: Cycle) {
         while let Some(front) = self.entries.front() {
             if now.saturating_sub(front.issued_at) >= self.window {
-                self.entries.pop_front();
+                self.pop_oldest();
             } else {
                 break;
             }
@@ -93,31 +124,41 @@ impl HistoryBuffer {
             // Should not happen when the capacity follows the tFAW bound;
             // drop the oldest entry (conservative for performance, counted
             // so tests can assert it never triggers).
-            self.entries.pop_front();
+            self.pop_oldest();
             self.overflows += 1;
         }
         self.entries.push_back(HistoryEntry {
             row_key,
             issued_at: now,
         });
+        self.index
+            .entry(row_key)
+            .and_modify(|presence| {
+                presence.live_entries += 1;
+                // Entries are pushed in issue order, so the newest record
+                // is always the most recent activation of the row.
+                presence.last_issued = now;
+            })
+            .or_insert(RowPresence {
+                live_entries: 1,
+                last_issued: now,
+            });
     }
 
     /// Whether `row_key` was activated within the last `window` cycles
     /// (the "Recently Activated?" CAM lookup).
     pub fn recently_activated(&mut self, now: Cycle, row_key: u64) -> bool {
         self.expire(now);
-        self.entries.iter().any(|e| e.row_key == row_key)
+        self.index.contains_key(&row_key)
     }
 
     /// Cycle at which `row_key`'s most recent activation expires from the
     /// window, if it is currently present.
     pub fn expires_at(&mut self, now: Cycle, row_key: u64) -> Option<Cycle> {
         self.expire(now);
-        self.entries
-            .iter()
-            .rev()
-            .find(|e| e.row_key == row_key)
-            .map(|e| e.issued_at + self.window)
+        self.index
+            .get(&row_key)
+            .map(|presence| presence.last_issued + self.window)
     }
 }
 
@@ -191,5 +232,21 @@ mod tests {
         assert!(hb.recently_activated(120, 5));
         assert_eq!(hb.expires_at(120, 5), Some(160));
         assert!(!hb.recently_activated(160, 5));
+    }
+
+    #[test]
+    fn index_survives_partial_expiry_of_duplicate_rows() {
+        // Two records of the same row; when the first expires the index
+        // must still report the row present (the second record is live),
+        // and only after the second expires is the row forgotten.
+        let mut hb = HistoryBuffer::new(8, 100);
+        hb.record(0, 9);
+        hb.record(50, 9);
+        hb.record(50, 10);
+        assert!(hb.recently_activated(100, 9), "second record still live");
+        assert_eq!(hb.len(), 2);
+        assert!(!hb.recently_activated(150, 9));
+        assert!(!hb.recently_activated(150, 10));
+        assert!(hb.is_empty());
     }
 }

@@ -67,7 +67,7 @@ mod throttler;
 pub use cbf::{CountingBloomFilter, DualCountingBloomFilter};
 pub use config::BlockHammerConfig;
 pub use defense::{BlockHammer, BlockHammerStats, OperatingMode};
-pub use hash::H3HashFamily;
+pub use hash::{H3HashFamily, IndexSet, MAX_HASH_FUNCTIONS};
 pub use history::HistoryBuffer;
 pub use rowblocker::RowBlocker;
 pub use throttler::AttackThrottler;

@@ -37,6 +37,11 @@ pub struct RowBlocker {
     filters: Vec<DualCountingBloomFilter>,
     /// One history buffer per rank.
     history: Vec<HistoryBuffer>,
+    /// Cycle of the next epoch boundary. All banks' filters are created
+    /// with the same epoch length and advance together, so one comparison
+    /// against this cache answers "is any epoch work due?" in O(1) instead
+    /// of walking every bank's filter on every query.
+    next_epoch_at: Cycle,
     stats: RowBlockerStats,
 }
 
@@ -51,7 +56,7 @@ impl RowBlocker {
         config
             .validate()
             .expect("invalid BlockHammer configuration");
-        let filters = (0..geometry.total_banks)
+        let filters: Vec<DualCountingBloomFilter> = (0..geometry.total_banks)
             .map(|bank| {
                 DualCountingBloomFilter::new(
                     config.cbf_size,
@@ -67,11 +72,16 @@ impl RowBlocker {
         let history = (0..total_ranks.max(1))
             .map(|_| HistoryBuffer::new(config.history_entries, config.t_delay_cycles))
             .collect();
+        let next_epoch_at = filters
+            .first()
+            .map(DualCountingBloomFilter::next_swap_at)
+            .unwrap_or(Cycle::MAX);
         Self {
             config,
             geometry,
             filters,
             history,
+            next_epoch_at,
             stats: RowBlockerStats::default(),
         }
     }
@@ -102,11 +112,22 @@ impl RowBlocker {
     /// Advances epoch bookkeeping on every bank's filter. Returns `true` if
     /// any filter swapped (an epoch boundary passed); AttackThrottler uses
     /// this signal to swap its own counters.
+    ///
+    /// All filters share one epoch schedule, so the common case (no
+    /// boundary passed since the last call) is a single comparison.
     pub fn advance_epochs(&mut self, now: Cycle) -> bool {
+        if now < self.next_epoch_at {
+            return false;
+        }
         let mut swapped = false;
         for filter in &mut self.filters {
             swapped |= filter.advance_to(now);
         }
+        self.next_epoch_at = self
+            .filters
+            .first()
+            .map(DualCountingBloomFilter::next_swap_at)
+            .unwrap_or(Cycle::MAX);
         swapped
     }
 
@@ -142,11 +163,12 @@ impl RowBlocker {
         self.advance_epochs(now);
         self.stats.observed_activations += 1;
         let bank = self.bank_index(addr);
-        let blacklisted = self.filters[bank].is_blacklisted(addr.row());
+        // `observe` computes each filter's H3 index set once and shares it
+        // between the blacklist test and the insertion.
+        let blacklisted = self.filters[bank].observe(now, addr.row());
         if blacklisted {
             self.stats.blacklisted_activations += 1;
         }
-        self.filters[bank].insert(now, addr.row());
         let row_key = self.row_key(addr);
         let rank = self.rank_index(addr);
         self.history[rank].record(now, row_key);

@@ -13,12 +13,16 @@ use crate::config::BlockHammerConfig;
 use bh_types::ThreadId;
 
 /// Per-`<thread, bank>` dual counters plus quota computation.
+///
+/// The counters are stored as flat `threads × banks` arrays (row-major by
+/// thread) so the per-activation update touches two adjacent cache lines
+/// and the epoch swap clears one contiguous region.
 #[derive(Debug, Clone)]
 pub struct AttackThrottler {
-    /// Active counters, indexed `[thread][bank]`.
-    active: Vec<Vec<u32>>,
-    /// Passive counters, indexed `[thread][bank]`.
-    passive: Vec<Vec<u32>>,
+    /// Active counters, indexed `thread * banks + bank`.
+    active: Vec<u32>,
+    /// Passive counters, indexed `thread * banks + bank`.
+    passive: Vec<u32>,
     /// Saturation value: `N_RH* × (tCBF / tREFW)`.
     saturation: u32,
     /// RHLI denominator from Eq. 2.
@@ -40,8 +44,8 @@ impl AttackThrottler {
         assert!(threads > 0, "at least one thread is required");
         assert!(banks > 0, "at least one bank is required");
         Self {
-            active: vec![vec![0; banks]; threads],
-            passive: vec![vec![0; banks]; threads],
+            active: vec![0; threads * banks],
+            passive: vec![0; threads * banks],
             saturation: config
                 .max_activations_per_cbf_lifetime()
                 .min(u32::MAX as u64) as u32,
@@ -69,10 +73,11 @@ impl AttackThrottler {
         if t >= self.threads || bank >= self.banks {
             return;
         }
+        let idx = t * self.banks + bank;
         let saturation = self.saturation;
-        let a = &mut self.active[t][bank];
+        let a = &mut self.active[idx];
         *a = a.saturating_add(1).min(saturation);
-        let p = &mut self.passive[t][bank];
+        let p = &mut self.passive[idx];
         *p = p.saturating_add(1).min(saturation);
     }
 
@@ -80,9 +85,7 @@ impl AttackThrottler {
     /// set. Called when RowBlocker's filters swap (every epoch).
     pub fn swap_and_clear(&mut self) {
         std::mem::swap(&mut self.active, &mut self.passive);
-        for row in &mut self.passive {
-            row.fill(0);
-        }
+        self.passive.fill(0);
     }
 
     /// The RowHammer likelihood index of `<thread, bank>` (Eq. 2).
@@ -91,15 +94,24 @@ impl AttackThrottler {
         if t >= self.threads || bank >= self.banks {
             return 0.0;
         }
-        f64::from(self.active[t][bank]) / f64::from(self.rhli_denominator.max(1))
+        f64::from(self.active[t * self.banks + bank]) / f64::from(self.rhli_denominator.max(1))
     }
 
     /// The largest RHLI of `thread` across all banks (used for reporting
     /// and for OS exposure, Section 3.2.3).
     pub fn max_rhli(&self, thread: ThreadId) -> f64 {
-        (0..self.banks)
-            .map(|b| self.rhli(thread, b))
-            .fold(0.0, f64::max)
+        let t = thread.index();
+        if t >= self.threads {
+            return 0.0;
+        }
+        // Division by the (positive) denominator is monotonic, so the max
+        // RHLI is the max counter divided once.
+        let max = self.active[t * self.banks..(t + 1) * self.banks]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        f64::from(max) / f64::from(self.rhli_denominator.max(1))
     }
 
     /// The in-flight request quota for `<thread, bank>`: `None` (unlimited)

@@ -17,6 +17,22 @@ use std::time::{Duration, Instant};
 /// bench targets under `cargo test` stays cheap.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 
+/// Budget when `--quick` is passed (`cargo bench -p bench -- --quick`):
+/// just enough to execute every benchmark body a handful of times, so CI
+/// catches hot-path panics and pathological slowdowns without paying for
+/// real measurements.
+const QUICK_BUDGET: Duration = Duration::from_millis(10);
+
+/// The per-run measurement budget: [`QUICK_BUDGET`] when the process was
+/// started with a `--quick` argument, [`MEASURE_BUDGET`] otherwise.
+fn measure_budget() -> Duration {
+    if std::env::args().any(|arg| arg == "--quick") {
+        QUICK_BUDGET
+    } else {
+        MEASURE_BUDGET
+    }
+}
+
 /// Re-implementation of `criterion::black_box` (forwards to `std::hint`).
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -26,6 +42,7 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    budget: Duration,
 }
 
 impl Bencher {
@@ -36,7 +53,7 @@ impl Bencher {
         black_box(routine());
         let start = Instant::now();
         let mut batch = 1u64;
-        while start.elapsed() < MEASURE_BUDGET {
+        while start.elapsed() < self.budget {
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -142,6 +159,7 @@ impl Criterion {
         let mut bencher = Bencher {
             total: Duration::ZERO,
             iters: 0,
+            budget: measure_budget(),
         };
         f(&mut bencher);
         report(name, &bencher);

@@ -36,6 +36,17 @@ impl fmt::Display for EnqueueError {
 
 impl Error for EnqueueError {}
 
+/// Outcome of one [`MemoryController::enqueue_batch`] call: how many
+/// requests were admitted and, if the batch stopped early, why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAdmission {
+    /// Requests admitted (in arrival order, from the front of the batch).
+    pub accepted: usize,
+    /// The rejection that ended the batch, if any. `None` means every item
+    /// was admitted.
+    pub rejection: Option<EnqueueError>,
+}
+
 /// A demand request that finished, reported back to the cache / core.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletedRequest {
@@ -161,17 +172,20 @@ impl MemoryController {
         addr.global_bank_index(org.ranks, org.bank_groups, org.banks_per_group)
     }
 
-    /// The single admission predicate shared by [`MemoryController::can_accept`]
-    /// and [`MemoryController::enqueue`], so the two can never disagree on
-    /// which rejection fires first: defense quota, then queue space.
-    fn admission_error(
+    /// The single admission predicate shared by [`MemoryController::can_accept`],
+    /// [`MemoryController::enqueue`] and [`MemoryController::enqueue_batch`],
+    /// so they can never disagree on which rejection fires first: defense
+    /// quota, then queue space. `quota` is the defense's in-flight limit
+    /// for the `<thread, bank>` pair (batched callers amortize that trait
+    /// call); `free_slots` is the remaining space in the target queue.
+    fn admission_error_with(
         &self,
         thread: ThreadId,
         bank: usize,
-        access: AccessType,
-        defense: &dyn RowHammerDefense,
+        quota: Option<u32>,
+        free_slots: usize,
     ) -> Option<EnqueueError> {
-        if let Some(quota) = defense.inflight_quota(thread, bank) {
+        if let Some(quota) = quota {
             let inflight = self
                 .inflight
                 .get(&(thread.index(), bank))
@@ -181,11 +195,36 @@ impl MemoryController {
                 return Some(EnqueueError::QuotaExceeded);
             }
         }
-        let queue_full = match access {
-            AccessType::Read => self.read_queue_len() >= self.config.read_queue_capacity,
-            AccessType::Write => self.write_queue_len() >= self.config.write_queue_capacity,
-        };
-        queue_full.then_some(EnqueueError::QueueFull)
+        (free_slots == 0).then_some(EnqueueError::QueueFull)
+    }
+
+    /// Remaining slots in one demand queue.
+    fn free_slots(&self, access: AccessType) -> usize {
+        match access {
+            AccessType::Read => self
+                .config
+                .read_queue_capacity
+                .saturating_sub(self.read_queue_len()),
+            AccessType::Write => self
+                .config
+                .write_queue_capacity
+                .saturating_sub(self.write_queue_len()),
+        }
+    }
+
+    fn admission_error(
+        &self,
+        thread: ThreadId,
+        bank: usize,
+        access: AccessType,
+        defense: &dyn RowHammerDefense,
+    ) -> Option<EnqueueError> {
+        self.admission_error_with(
+            thread,
+            bank,
+            defense.inflight_quota(thread, bank),
+            self.free_slots(access),
+        )
     }
 
     /// Whether a new demand request from `thread` for `phys_addr` would be
@@ -221,29 +260,88 @@ impl MemoryController {
         now: Cycle,
         defense: &dyn RowHammerDefense,
     ) -> Result<ReqId, EnqueueError> {
-        let addr = self
-            .config
-            .mapping
-            .decode(&self.config.organization.geometry(), phys_addr);
-        let bank = self.global_bank(&addr);
-        match self.admission_error(thread, bank, access, defense) {
-            Some(EnqueueError::QuotaExceeded) => {
-                self.stats.rejected_quota += 1;
-                return Err(EnqueueError::QuotaExceeded);
-            }
-            Some(EnqueueError::QueueFull) => {
-                self.stats.rejected_queue_full += 1;
-                return Err(EnqueueError::QueueFull);
-            }
-            None => {}
+        let mut id = None;
+        let outcome = self.enqueue_batch(
+            std::iter::once((thread, phys_addr, ())),
+            access,
+            now,
+            defense,
+            |req_id, ()| id = Some(req_id),
+        );
+        match id {
+            Some(id) => Ok(id),
+            None => Err(outcome
+                .rejection
+                .expect("a request that was not accepted was rejected")),
         }
-        let id = self.next_req_id;
-        self.next_req_id += 1;
-        let request = MemRequest::demand(id, thread, phys_addr, addr, access, now);
-        *self.inflight.entry((thread.index(), bank)).or_insert(0) += 1;
-        self.stats.accepted_requests += 1;
-        self.scheduler.push(access, bank, request);
-        Ok(id)
+    }
+
+    /// Admits requests from `items` in arrival order until the first
+    /// rejection, amortizing the per-request admission work across the
+    /// batch (the defense's in-flight quota is fetched once per
+    /// `<thread, bank>` run instead of once per request, and queue space
+    /// is tracked incrementally).
+    ///
+    /// Each item carries an opaque tag that is handed back through
+    /// `on_accept` together with the assigned request id. Admission
+    /// decisions, statistics and request ids are identical to calling
+    /// [`MemoryController::enqueue`] once per item and stopping at the
+    /// first error — `tests/tests/batch_admission.rs` pins this.
+    pub fn enqueue_batch<T>(
+        &mut self,
+        items: impl IntoIterator<Item = (ThreadId, u64, T)>,
+        access: AccessType,
+        now: Cycle,
+        defense: &dyn RowHammerDefense,
+        mut on_accept: impl FnMut(ReqId, T),
+    ) -> BatchAdmission {
+        let geometry = self.config.organization.geometry();
+        let mapping = self.config.mapping;
+        let mut free_slots = self.free_slots(access);
+        // One-entry quota cache: consecutive requests of one thread to one
+        // bank (the common shape of a per-channel fetch queue) pay the
+        // defense trait call once.
+        let mut cached_quota: Option<((usize, usize), Option<u32>)> = None;
+        let mut outcome = BatchAdmission {
+            accepted: 0,
+            rejection: None,
+        };
+        for (thread, phys_addr, tag) in items {
+            let addr = mapping.decode(&geometry, phys_addr);
+            let bank = self.global_bank(&addr);
+            let key = (thread.index(), bank);
+            let quota = match cached_quota {
+                Some((cached_key, quota)) if cached_key == key => quota,
+                _ => {
+                    let quota = defense.inflight_quota(thread, bank);
+                    cached_quota = Some((key, quota));
+                    quota
+                }
+            };
+            match self.admission_error_with(thread, bank, quota, free_slots) {
+                Some(EnqueueError::QuotaExceeded) => {
+                    self.stats.rejected_quota += 1;
+                    outcome.rejection = Some(EnqueueError::QuotaExceeded);
+                    break;
+                }
+                Some(EnqueueError::QueueFull) => {
+                    self.stats.rejected_queue_full += 1;
+                    outcome.rejection = Some(EnqueueError::QueueFull);
+                    break;
+                }
+                None => {}
+            }
+            free_slots -= 1;
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            let request = MemRequest::demand(id, thread, phys_addr, addr, access, now);
+            *self.inflight.entry(key).or_insert(0) += 1;
+            self.stats.accepted_requests += 1;
+            self.scheduler.push(access, bank, request);
+            on_accept(id, tag);
+            outcome.accepted += 1;
+        }
+        outcome
     }
 
     /// Advances the controller by one cycle: completes finished requests,

@@ -51,7 +51,7 @@ mod scheduler;
 mod stats;
 
 pub use config::MemCtrlConfig;
-pub use controller::{CompletedRequest, EnqueueError, MemoryController};
+pub use controller::{BatchAdmission, CompletedRequest, EnqueueError, MemoryController};
 pub use mitigations::RowHammerDefense;
 pub use scheduler::SchedulerPolicy;
 pub use stats::CtrlStats;

@@ -40,9 +40,10 @@ pub mod report;
 pub mod subsystem;
 
 mod defense_factory;
+mod pool;
 mod system;
 
 pub use defense_factory::DefenseKind;
 pub use metrics::{ChannelStats, MultiProgramMetrics, RunResult, ThreadResult};
-pub use subsystem::MemorySubsystem;
+pub use subsystem::{MemorySubsystem, SteppingMode};
 pub use system::{System, SystemBuilder, SystemConfig};

@@ -1,0 +1,175 @@
+//! A persistent worker pool for stepping channel shards.
+//!
+//! The scoped-thread stepping mode spawns (and joins) one OS thread per
+//! shard on *every* simulated cycle, which dominates its cost at low
+//! channel counts. This pool spawns each worker thread once and keeps it
+//! alive for the lifetime of the subsystem; per cycle, the owner *moves*
+//! each shard to its worker over a channel, the worker ticks it, and the
+//! shard travels back together with its completion list. Moving a shard is
+//! a shallow struct copy (its queues and filters live behind pointers), so
+//! the per-cycle cost is two channel handoffs per worker instead of a
+//! thread spawn + join.
+//!
+//! The pool is generic over the work item so it stays decoupled from the
+//! subsystem's (private) shard type. It knows nothing about cycles beyond
+//! passing the `Cycle` argument through to the work function.
+
+use bh_types::Cycle;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// Bounded busy-wait before parking on the result channel: if the worker
+/// finishes while the owner is still distributing work or stepping its own
+/// shard, the result is usually ready by the time it is asked for, and
+/// spinning briefly avoids a futex round trip. Kept small so a
+/// single-hardware-thread host degrades gracefully.
+const RESULT_SPIN: u32 = 256;
+
+/// One persistent worker owning a job and a result channel.
+struct Worker<T, R> {
+    job_tx: Option<Sender<(Cycle, T)>>,
+    result_rx: Receiver<(T, R)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of persistent worker threads, one per work slot.
+pub(crate) struct WorkerPool<T: Send + 'static, R: Send + 'static> {
+    workers: Vec<Worker<T, R>>,
+}
+
+impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
+    /// Spawns `slots` worker threads, each running `work` on every item it
+    /// receives until the pool is dropped.
+    pub(crate) fn new<F>(slots: usize, work: F) -> Self
+    where
+        F: Fn(Cycle, &mut T) -> R + Send + Clone + 'static,
+    {
+        let workers = (0..slots)
+            .map(|slot| {
+                let (job_tx, job_rx) = channel::<(Cycle, T)>();
+                let (result_tx, result_rx) = channel::<(T, R)>();
+                let work = work.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("shard-worker-{slot}"))
+                    .spawn(move || {
+                        while let Ok((now, mut item)) = job_rx.recv() {
+                            let result = work(now, &mut item);
+                            if result_tx.send((item, result)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn shard worker thread");
+                Worker {
+                    job_tx: Some(job_tx),
+                    result_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Number of worker slots.
+    #[cfg(test)]
+    pub(crate) fn slots(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Hands `item` to worker `slot` for one step at `now`.
+    pub(crate) fn dispatch(&self, slot: usize, now: Cycle, item: T) {
+        self.workers[slot]
+            .job_tx
+            .as_ref()
+            .expect("pool is live")
+            .send((now, item))
+            .expect("shard worker exited unexpectedly");
+    }
+
+    /// Waits for worker `slot` to finish its current step and returns the
+    /// item together with the step result.
+    ///
+    /// # Panics
+    ///
+    /// If the worker thread died (a panic inside the work function), the
+    /// worker is joined and its original panic payload is re-raised on
+    /// the calling thread.
+    pub(crate) fn collect(&mut self, slot: usize) -> (T, R) {
+        let worker = &mut self.workers[slot];
+        for _ in 0..RESULT_SPIN {
+            match worker.result_rx.try_recv() {
+                Ok(done) => return done,
+                Err(TryRecvError::Empty) => std::hint::spin_loop(),
+                Err(TryRecvError::Disconnected) => propagate_worker_panic(worker),
+            }
+        }
+        match worker.result_rx.recv() {
+            Ok(done) => done,
+            Err(_) => propagate_worker_panic(worker),
+        }
+    }
+}
+
+/// A worker's result channel disconnected mid-step: the work function
+/// panicked. Join the thread to recover the original panic payload and
+/// re-raise it here, so the caller sees the real failure instead of a
+/// generic "worker died" message.
+fn propagate_worker_panic<T, R>(worker: &mut Worker<T, R>) -> ! {
+    worker.job_tx.take();
+    if let Some(handle) = worker.handle.take() {
+        if let Err(payload) = handle.join() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    panic!("shard worker exited without delivering a result");
+}
+
+impl<T: Send + 'static, R: Send + 'static> Drop for WorkerPool<T, R> {
+    fn drop(&mut self) {
+        // Closing the job channels lets every worker fall out of its loop;
+        // join afterwards so worker panics surface during tests.
+        for worker in &mut self.workers {
+            worker.job_tx.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                // A worker that panicked already reported through collect();
+                // suppress the secondary panic during unwinding.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_step_items_and_hand_them_back() {
+        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(3, |now, item| {
+            *item += now;
+            *item
+        });
+        assert_eq!(pool.slots(), 3);
+        for round in 1..=5u64 {
+            for slot in 0..3 {
+                pool.dispatch(slot, round, slot as u64);
+            }
+            for slot in 0..3 {
+                let (item, result) = pool.collect(slot);
+                assert_eq!(item, slot as u64 + round);
+                assert_eq!(result, item);
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_the_workers() {
+        let mut pool: WorkerPool<u32, u32> = WorkerPool::new(2, |_, item| *item);
+        pool.dispatch(0, 0, 7);
+        let (item, _) = pool.collect(0);
+        assert_eq!(item, 7);
+        drop(pool); // must not hang
+    }
+}

@@ -10,21 +10,28 @@
 //!
 //! Shards step in lockstep, one cycle at a time and with completions
 //! always collected in channel order, so runs are deterministic. Because
-//! the shards share no state, the lockstep can also be executed on scoped
-//! worker threads ([`MemorySubsystem::set_parallel_stepping`]) without
-//! altering results: each shard ticks independently and the per-shard
-//! completion lists are concatenated in channel order afterwards, which is
-//! exactly the sequential output.
+//! the shards share no state, the lockstep can also be executed
+//! concurrently ([`SteppingMode`]) without altering results: each shard
+//! ticks independently and the per-shard completion lists are concatenated
+//! in channel order afterwards, which is exactly the sequential output.
+//! Two concurrent modes exist: [`SteppingMode::ScopedThreads`] spawns a
+//! scoped thread per shard every cycle (the PR 2 baseline, kept for
+//! comparison), and [`SteppingMode::WorkerPool`] keeps one long-lived
+//! worker per extra shard and hands shards over per cycle, removing the
+//! spawn/join cost from the per-cycle path (the main thread steps shard 0
+//! itself while the workers step the rest).
 //!
 //! With `channels = 1` the subsystem degenerates to exactly the
 //! pre-sharding behaviour: addresses pass through unchanged and the single
 //! shard is the old controller + defense pair.
 
 use crate::metrics::ChannelStats;
+use crate::pool::WorkerPool;
 use bh_types::{AccessType, AddressMapping, AddressMappingGeometry, Cycle, ReqId, ThreadId};
 use dram_sim::DramStats;
 use memctrl::{CompletedRequest, CtrlStats, EnqueueError, MemCtrlConfig, MemoryController};
 use mitigations::{DefenseStats, RowHammerDefense};
+use std::collections::VecDeque;
 
 /// Identifies a request across shards: `(channel, shard-local request id)`.
 ///
@@ -32,12 +39,34 @@ use mitigations::{DefenseStats, RowHammerDefense};
 /// consumer of the subsystem keys bookkeeping on this pair.
 pub type ShardReqId = (usize, ReqId);
 
+/// How the subsystem executes one lockstep cycle across its shards. All
+/// modes produce bit-identical results (regression-pinned); they differ
+/// only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteppingMode {
+    /// Step shards one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Spawn one scoped thread per shard per cycle (the PR 2
+    /// implementation, retained as an equivalence and benchmark baseline).
+    ScopedThreads,
+    /// Keep one persistent worker thread per extra shard and hand shards
+    /// over per cycle; the calling thread steps shard 0 itself.
+    WorkerPool,
+}
+
 /// One memory channel: its controller (with DRAM device inside) and the
 /// defense instance that protects it.
 struct ChannelShard {
     channel: usize,
     ctrl: MemoryController,
     defense: Box<dyn RowHammerDefense>,
+}
+
+impl ChannelShard {
+    fn tick(&mut self, now: Cycle) -> Vec<CompletedRequest> {
+        self.ctrl.tick(now, self.defense.as_mut())
+    }
 }
 
 /// A set of independent per-channel memory controllers behind a single
@@ -48,10 +77,13 @@ pub struct MemorySubsystem {
     /// `(channel, channel-local address)`.
     geometry: AddressMappingGeometry,
     banks_per_channel: usize,
-    shards: Vec<ChannelShard>,
-    /// Step shards on scoped threads instead of sequentially (identical
-    /// results either way; see the module documentation).
-    parallel: bool,
+    /// The shards, in channel order. A slot is only `None` while its shard
+    /// is being stepped by a pool worker inside [`MemorySubsystem::tick`].
+    shards: Vec<Option<ChannelShard>>,
+    stepping: SteppingMode,
+    /// Lazily-created persistent workers for [`SteppingMode::WorkerPool`]
+    /// (one per shard beyond the first).
+    pool: Option<WorkerPool<ChannelShard, Vec<CompletedRequest>>>,
 }
 
 impl MemorySubsystem {
@@ -86,11 +118,11 @@ impl MemorySubsystem {
                 if enable_activation_log {
                     ctrl.enable_activation_log();
                 }
-                ChannelShard {
+                Some(ChannelShard {
                     channel,
                     ctrl,
                     defense,
-                }
+                })
             })
             .collect();
         Self {
@@ -98,8 +130,21 @@ impl MemorySubsystem {
             geometry: config.organization.geometry(),
             banks_per_channel: config.organization.banks_per_channel(),
             shards,
-            parallel: false,
+            stepping: SteppingMode::Sequential,
+            pool: None,
         }
+    }
+
+    fn shard(&self, channel: usize) -> &ChannelShard {
+        self.shards[channel]
+            .as_ref()
+            .expect("shard is being stepped")
+    }
+
+    fn shard_mut(&mut self, channel: usize) -> &mut ChannelShard {
+        self.shards[channel]
+            .as_mut()
+            .expect("shard is being stepped")
     }
 
     /// Number of channel shards.
@@ -107,10 +152,20 @@ impl MemorySubsystem {
         self.shards.len()
     }
 
-    /// Enables or disables parallel shard stepping. With a single shard
-    /// the setting has no effect (the sequential path is always used).
+    /// Selects how shards are stepped. With a single shard every mode uses
+    /// the sequential path.
+    pub fn set_stepping(&mut self, stepping: SteppingMode) {
+        self.stepping = stepping;
+    }
+
+    /// Compatibility switch for the pre-pool API: `true` selects
+    /// [`SteppingMode::WorkerPool`], `false` [`SteppingMode::Sequential`].
     pub fn set_parallel_stepping(&mut self, enabled: bool) {
-        self.parallel = enabled;
+        self.stepping = if enabled {
+            SteppingMode::WorkerPool
+        } else {
+            SteppingMode::Sequential
+        };
     }
 
     /// Banks within one channel (the index space of per-shard defenses).
@@ -125,13 +180,13 @@ impl MemorySubsystem {
 
     /// The defense instance protecting `channel`.
     pub fn defense(&self, channel: usize) -> &dyn RowHammerDefense {
-        self.shards[channel].defense.as_ref()
+        self.shard(channel).defense.as_ref()
     }
 
     /// Mutable access to the defense instance protecting `channel` (e.g.
     /// to enable mechanism-specific instrumentation before a run).
     pub fn defense_mut(&mut self, channel: usize) -> &mut dyn RowHammerDefense {
-        self.shards[channel].defense.as_mut()
+        self.shard_mut(channel).defense.as_mut()
     }
 
     /// Routes a demand request to its channel's controller.
@@ -148,60 +203,169 @@ impl MemorySubsystem {
         now: Cycle,
     ) -> Result<ShardReqId, EnqueueError> {
         let (channel, local) = self.mapping.to_channel_local(&self.geometry, phys_addr);
-        let shard = &mut self.shards[channel];
+        let shard = self.shard_mut(channel);
         shard
             .ctrl
             .enqueue(thread, local, access, now, shard.defense.as_ref())
             .map(|id| (channel, id))
     }
 
+    /// Admits pending requests for `channel` from the front of `queue`
+    /// (entries are `(thread, system physical address)`) until the first
+    /// rejection, popping every accepted entry and reporting it through
+    /// `on_accept` with its assigned id. Returns the number accepted.
+    ///
+    /// Every queued address must route to `channel`; admission decisions
+    /// and statistics are identical to retrying [`MemorySubsystem::enqueue`]
+    /// per entry and stopping at the first error, but the per-request
+    /// admission work is amortized across the batch.
+    pub fn enqueue_batch(
+        &mut self,
+        channel: usize,
+        queue: &mut VecDeque<(ThreadId, u64)>,
+        access: AccessType,
+        now: Cycle,
+        mut on_accept: impl FnMut(ShardReqId, u64),
+    ) -> usize {
+        if queue.is_empty() {
+            return 0;
+        }
+        let mapping = self.mapping;
+        let geometry = self.geometry;
+        let shard = self.shards[channel]
+            .as_mut()
+            .expect("shard is being stepped");
+        let outcome = shard.ctrl.enqueue_batch(
+            queue.iter().map(|&(thread, phys)| {
+                let (routed, local) = mapping.to_channel_local(&geometry, phys);
+                debug_assert_eq!(routed, channel, "queued address routed off-channel");
+                (thread, local, phys)
+            }),
+            access,
+            now,
+            shard.defense.as_ref(),
+            |id, phys| on_accept((channel, id), phys),
+        );
+        queue.drain(..outcome.accepted);
+        outcome.accepted
+    }
+
     /// Advances every shard by one cycle (lockstep) and returns the
     /// completed demand requests tagged with their channel, in channel
     /// order.
     ///
-    /// With parallel stepping enabled (and more than one shard), shards
-    /// tick concurrently on scoped threads; the per-shard completion lists
-    /// are then concatenated in channel order, so the output — and
-    /// therefore the whole run — is identical to sequential stepping.
+    /// With a concurrent [`SteppingMode`] (and more than one shard),
+    /// shards tick on threads; the per-shard completion lists are then
+    /// concatenated in channel order, so the output — and therefore the
+    /// whole run — is identical to sequential stepping.
     pub fn tick(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
-        if self.parallel && self.shards.len() > 1 {
-            let per_shard: Vec<(usize, Vec<CompletedRequest>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            (shard.channel, shard.ctrl.tick(now, shard.defense.as_mut()))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("shard tick panicked"))
-                    .collect()
-            });
-            per_shard
+        match self.stepping {
+            SteppingMode::ScopedThreads if self.shards.len() > 1 => self.tick_scoped(now),
+            SteppingMode::WorkerPool if self.shards.len() > 1 => self.tick_pooled(now),
+            _ => self.tick_sequential(now),
+        }
+    }
+
+    fn tick_sequential(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
+        let mut completed = Vec::new();
+        for slot in &mut self.shards {
+            let shard = slot.as_mut().expect("shard is being stepped");
+            for done in shard.tick(now) {
+                completed.push((shard.channel, done));
+            }
+        }
+        completed
+    }
+
+    fn tick_scoped(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
+        let per_shard: Vec<(usize, Vec<CompletedRequest>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|slot| {
+                    let shard = slot.as_mut().expect("shard is being stepped");
+                    scope.spawn(move || (shard.channel, shard.tick(now)))
+                })
+                .collect();
+            handles
                 .into_iter()
-                .flat_map(|(channel, done)| done.into_iter().map(move |d| (channel, d)))
+                .map(|handle| handle.join().expect("shard tick panicked"))
                 .collect()
-        } else {
-            let mut completed = Vec::new();
-            for shard in &mut self.shards {
-                for done in shard.ctrl.tick(now, shard.defense.as_mut()) {
-                    completed.push((shard.channel, done));
+        });
+        per_shard
+            .into_iter()
+            .flat_map(|(channel, done)| done.into_iter().map(move |d| (channel, d)))
+            .collect()
+    }
+
+    fn tick_pooled(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(
+                self.shards.len() - 1,
+                |now, shard: &mut ChannelShard| shard.tick(now),
+            ));
+        }
+        // Hand shards 1..n to the workers, step shard 0 on this thread,
+        // then collect everything back in channel order.
+        for channel in 1..self.shards.len() {
+            let shard = self.shards[channel].take().expect("shard is present");
+            self.pool
+                .as_ref()
+                .expect("pool was just created")
+                .dispatch(channel - 1, now, shard);
+        }
+        // A panic — in shard 0's tick or inside a worker — must not stop
+        // the remaining shards from being collected back into their
+        // slots: a caught unwind would otherwise leave the subsystem
+        // with missing shards, and every later call would die on an
+        // unrelated "shard is being stepped" instead of the original
+        // failure. So both the shard-0 tick and each collect are caught,
+        // every restorable shard is restored, and the first panic
+        // payload is re-raised afterwards. (AssertUnwindSafe is fine:
+        // the panic is re-raised as soon as the shards are back. A shard
+        // whose own worker panicked is unavoidably lost with that
+        // worker's unwind.)
+        let shard0_done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let shard0 = self.shards[0].as_mut().expect("shard 0 never leaves");
+            shard0.tick(now)
+        }));
+        let mut completed = Vec::new();
+        let mut worker_done = Vec::new();
+        let mut worker_panic = None;
+        for channel in 1..self.shards.len() {
+            let pool = self.pool.as_mut().expect("pool was just created");
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.collect(channel - 1)
+            })) {
+                Ok((shard, done)) => {
+                    self.shards[channel] = Some(shard);
+                    worker_done.push((channel, done));
+                }
+                Err(payload) => {
+                    worker_panic.get_or_insert(payload);
                 }
             }
-            completed
         }
+        match shard0_done {
+            Ok(done) => completed.extend(done.into_iter().map(|d| (0, d))),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+        for (channel, done) in worker_done {
+            completed.extend(done.into_iter().map(|d| (channel, d)));
+        }
+        completed
     }
 
     /// The largest RowHammer likelihood index any shard's defense reports
     /// for `thread`, across all banks.
     pub fn max_rhli(&self, thread: ThreadId) -> f64 {
-        self.shards
-            .iter()
-            .flat_map(|shard| {
-                (0..self.banks_per_channel).map(move |bank| shard.defense.rhli(thread, bank))
+        (0..self.shards.len())
+            .flat_map(|channel| {
+                (0..self.banks_per_channel)
+                    .map(move |bank| self.shard(channel).defense.rhli(thread, bank))
             })
             .fold(0.0, f64::max)
     }
@@ -209,7 +373,7 @@ impl MemorySubsystem {
     /// The mechanism name (shards run identical mechanisms; shard 0 speaks
     /// for all).
     pub fn defense_name(&self) -> &'static str {
-        self.shards[0].defense.name()
+        self.shard(0).defense.name()
     }
 
     /// Finalizes every shard at `now` and returns per-channel statistics,
@@ -217,7 +381,8 @@ impl MemorySubsystem {
     pub fn finish(&mut self, now: Cycle) -> Vec<ChannelStats> {
         self.shards
             .iter_mut()
-            .map(|shard| {
+            .map(|slot| {
+                let shard = slot.as_mut().expect("shard is being stepped");
                 let (dram, ctrl) = shard.ctrl.finish(now);
                 ChannelStats {
                     channel: shard.channel,
@@ -233,7 +398,10 @@ impl MemorySubsystem {
     /// Consumes the subsystem, handing back the per-channel defense
     /// instances (in channel order) for post-run inspection.
     pub fn into_defenses(self) -> Vec<Box<dyn RowHammerDefense>> {
-        self.shards.into_iter().map(|shard| shard.defense).collect()
+        self.shards
+            .into_iter()
+            .map(|slot| slot.expect("shard is being stepped").defense)
+            .collect()
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::defense_factory::DefenseKind;
 use crate::metrics::{RunResult, ThreadResult};
-use crate::subsystem::{merge_channel_stats, MemorySubsystem, ShardReqId};
+use crate::subsystem::{merge_channel_stats, MemorySubsystem, ShardReqId, SteppingMode};
 use bh_types::{AccessType, Cycle, ThreadId, TraceRecord};
 use cpu::{Core, CoreConfig, MemorySink};
 use energy::{Ddr4PowerSpec, DramEnergyModel};
@@ -41,12 +41,12 @@ pub struct SystemConfig {
     /// Whether to record every DRAM activation (needed by safety
     /// verification; costs memory).
     pub enable_activation_log: bool,
-    /// Step the per-channel memory shards on scoped threads instead of
-    /// sequentially. Results are identical either way (the shards share no
-    /// state and completions are collected in channel order); this only
-    /// trades per-cycle thread coordination for parallel shard work, which
-    /// pays off for channel-heavy configurations.
-    pub parallel_channels: bool,
+    /// How the per-channel memory shards execute each lockstep cycle.
+    /// Results are identical in every mode (the shards share no state and
+    /// completions are collected in channel order); this only trades
+    /// per-cycle thread coordination for concurrent shard work, which pays
+    /// off for channel-heavy configurations.
+    pub stepping: SteppingMode,
     /// Seed for workload generators and probabilistic defenses.
     pub seed: u64,
 }
@@ -62,7 +62,7 @@ impl Default for SystemConfig {
             max_cycles: 2_000_000_000,
             min_cycles: 0,
             enable_activation_log: false,
-            parallel_channels: false,
+            stepping: SteppingMode::Sequential,
             seed: 1,
         }
     }
@@ -232,7 +232,7 @@ impl System {
     ) -> Self {
         assert!(!traces.is_empty(), "a system needs at least one thread");
         let mut mem = MemorySubsystem::new(&config.memctrl, defenses, config.enable_activation_log);
-        mem.set_parallel_stepping(config.parallel_channels);
+        mem.set_stepping(config.stepping);
         let channels = mem.channels();
         let llc = Llc::new(config.llc);
         let hit_latency = config.llc.hit_latency;
@@ -329,27 +329,21 @@ impl System {
             uncore.hit_queue.pop_front();
             self.cores[core_index].on_memory_complete(token);
         }
-        // 3. Retry pending line fetches and writebacks, per channel.
-        for channel in 0..uncore.mem.channels() {
-            while let Some(&(thread, line)) = uncore.fetch_queues[channel].front() {
-                match uncore.mem.enqueue(thread, line, AccessType::Read, now) {
-                    Ok(req_id) => {
-                        uncore.line_fetch_reqs.insert(req_id, line);
-                        uncore.fetch_queues[channel].pop_front();
-                    }
-                    Err(_) => break,
-                }
-            }
+        // 3. Retry pending line fetches and writebacks, per channel, in
+        //    batches (one amortized admission pass per channel per cycle
+        //    instead of one full admission check per request).
+        let line_fetch_reqs = &mut uncore.line_fetch_reqs;
+        for (channel, queue) in uncore.fetch_queues.iter_mut().enumerate() {
+            uncore
+                .mem
+                .enqueue_batch(channel, queue, AccessType::Read, now, |req_id, line| {
+                    line_fetch_reqs.insert(req_id, line);
+                });
         }
-        for channel in 0..uncore.mem.channels() {
-            while let Some(&(thread, addr)) = uncore.writeback_queues[channel].front() {
-                match uncore.mem.enqueue(thread, addr, AccessType::Write, now) {
-                    Ok(_) => {
-                        uncore.writeback_queues[channel].pop_front();
-                    }
-                    Err(_) => break,
-                }
-            }
+        for (channel, queue) in uncore.writeback_queues.iter_mut().enumerate() {
+            uncore
+                .mem
+                .enqueue_batch(channel, queue, AccessType::Write, now, |_, _| {});
         }
         // 4. Cores issue and retire.
         for (core_index, core) in self.cores.iter_mut().enumerate() {
@@ -498,12 +492,24 @@ impl SystemBuilder {
         self
     }
 
-    /// Steps the per-channel memory shards on scoped threads instead of
-    /// sequentially. Bit-identical results either way; worthwhile only
-    /// when the per-shard work outweighs the per-cycle thread
-    /// coordination (many channels under heavy traffic).
+    /// Steps the per-channel memory shards concurrently (on the persistent
+    /// worker pool) instead of sequentially. Bit-identical results either
+    /// way; worthwhile only when the per-shard work outweighs the
+    /// per-cycle thread coordination (many channels under heavy traffic).
     pub fn parallel_channels(mut self, enabled: bool) -> Self {
-        self.config.parallel_channels = enabled;
+        self.config.stepping = if enabled {
+            SteppingMode::WorkerPool
+        } else {
+            SteppingMode::Sequential
+        };
+        self
+    }
+
+    /// Selects the shard stepping mode explicitly (sequential, per-cycle
+    /// scoped threads, or the persistent worker pool). All modes produce
+    /// bit-identical results.
+    pub fn stepping_mode(mut self, stepping: SteppingMode) -> Self {
+        self.config.stepping = stepping;
         self
     }
 
@@ -802,31 +808,35 @@ mod tests {
     }
 
     #[test]
-    fn parallel_channel_stepping_is_bit_identical_to_sequential() {
-        let run = |parallel: bool| {
+    fn stepping_modes_are_bit_identical() {
+        // Sequential, per-cycle scoped threads and the persistent worker
+        // pool must produce the same run, bit for bit.
+        let run = |stepping: SteppingMode| {
             quick_builder()
                 .channels(2)
                 .min_cycles(20_000)
-                .parallel_channels(parallel)
+                .stepping_mode(stepping)
                 .defense(DefenseKind::BlockHammer)
                 .add_attacker()
                 .add_workload(SyntheticSpec::high_intensity("h0", 0), 2_000)
                 .run()
         };
-        let sequential = run(false);
-        let parallel = run(true);
-        assert_eq!(sequential.total_cycles, parallel.total_cycles);
-        assert_eq!(sequential.dram.totals(), parallel.dram.totals());
-        assert_eq!(sequential.ctrl, parallel.ctrl);
-        assert_eq!(
-            sequential.defense_stats.observed_activations,
-            parallel.defense_stats.observed_activations
-        );
-        for (a, b) in sequential.threads.iter().zip(&parallel.threads) {
-            assert_eq!(a.instructions, b.instructions);
-            assert_eq!(a.cycles, b.cycles);
-            assert_eq!(a.memory_requests, b.memory_requests);
-            assert_eq!(a.max_rhli, b.max_rhli);
+        let sequential = run(SteppingMode::Sequential);
+        for stepping in [SteppingMode::ScopedThreads, SteppingMode::WorkerPool] {
+            let concurrent = run(stepping);
+            assert_eq!(sequential.total_cycles, concurrent.total_cycles);
+            assert_eq!(sequential.dram.totals(), concurrent.dram.totals());
+            assert_eq!(sequential.ctrl, concurrent.ctrl);
+            assert_eq!(
+                sequential.defense_stats.observed_activations,
+                concurrent.defense_stats.observed_activations
+            );
+            for (a, b) in sequential.threads.iter().zip(&concurrent.threads) {
+                assert_eq!(a.instructions, b.instructions);
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.memory_requests, b.memory_requests);
+                assert_eq!(a.max_rhli, b.max_rhli);
+            }
         }
     }
 

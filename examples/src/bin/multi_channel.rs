@@ -4,9 +4,9 @@
 //! controller. The per-channel statistics show both shards carrying
 //! traffic and both defenses observing it.
 //!
-//! Pass `parallel` to step the shards on scoped threads instead of
-//! sequentially — the results are bit-identical (shards share no state);
-//! only the wall-clock cost of the run changes.
+//! Pass `parallel` to step the shards on the persistent worker pool
+//! instead of sequentially — the results are bit-identical (shards share
+//! no state); only the wall-clock cost of the run changes.
 //!
 //! ```text
 //! cargo run --release -p examples-bin --bin multi_channel [parallel]
@@ -33,7 +33,7 @@ fn main() {
     println!(
         "Two-channel system, double-sided attack, per-channel BlockHammer \
          ({} shard stepping)\n",
-        if parallel { "parallel" } else { "sequential" }
+        if parallel { "pooled" } else { "sequential" }
     );
     println!("{:<28} {:>12} {:>8}", "thread", "IPC", "RHLI");
     for thread in &result.threads {
