@@ -1,0 +1,46 @@
+//! Campaign-engine throughput: how many whole simulation runs per second
+//! the sweep executor sustains, sequentially and fanned out over the
+//! persistent worker pool (1 run/iteration here is a full expand →
+//! execute → aggregate cycle, so the numbers track everything a real
+//! campaign pays: the normalization prelude, run execution and
+//! incremental aggregation). Divide 1e9 by the reported ns/iter and
+//! multiply by the run count for runs/sec.
+
+use campaign::{execute, CampaignSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A small 8-run campaign (2 mixes x 2 scenarios x 2 defenses) with a
+/// reduced instruction budget, shared by every variant so the comparison
+/// isolates the execution strategy.
+fn bench_campaign() -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.name = "bench".to_owned();
+    spec.scale.benign_instructions = 500;
+    spec.scale.min_cycles = 15_000;
+    spec
+}
+
+fn run_campaign(workers: usize) -> usize {
+    let spec = bench_campaign();
+    let report = execute(&spec, spec.expand(), workers).expect("bench campaign runs");
+    assert_eq!(report.outcomes.len(), spec.run_count());
+    report.outcomes.len()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.bench_function("sequential_8_runs", |b| {
+        b.iter(|| black_box(run_campaign(0)))
+    });
+    for workers in [2usize, 4] {
+        group.bench_function(format!("pooled_{workers}w_8_runs"), |b| {
+            b.iter(|| black_box(run_campaign(workers)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! The campaign executor: fans whole runs out across the persistent
+//! worker pool and streams results back in deterministic order.
+//!
+//! Execution has two phases:
+//!
+//! 1. **Normalization prelude** (when `CampaignSpec::normalize`): every
+//!    distinct (benign workload, channel count) pair is run stand-alone
+//!    under the no-mitigation baseline, producing the alone-IPC reference
+//!    table the paper's multiprogrammed metrics divide by. The prelude
+//!    runs sequentially — its values feed every run, so keeping it
+//!    trivially order-independent keeps the whole campaign's output
+//!    independent of the worker count.
+//! 2. **The run matrix**: every [`RunSpec`], either on the calling
+//!    thread (`workers <= 1`) or fanned out over a
+//!    [`sim::WorkerPool`](sim::pool::WorkerPool) of `workers` persistent
+//!    threads. Jobs are dispatched round-robin and collected strictly in
+//!    run order, so outcomes stream back — and fold into the
+//!    [`CampaignAggregator`] — in exactly the sequential order no matter
+//!    which worker finishes first. Sequential and pooled execution of
+//!    the same campaign therefore emit byte-identical CSV/JSON (pinned
+//!    by `tests/tests/campaign_determinism.rs`).
+
+use crate::aggregate::{CampaignAggregator, CampaignSummary};
+use crate::runner::{run_spec, CampaignError, RunOutcome};
+use crate::spec::{CampaignSpec, RunSpec, ThreadGenerator};
+use sim::pool::WorkerPool;
+use sim::{DefenseKind, SystemBuilder};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use workloads::SyntheticSpec;
+
+/// Everything a finished campaign hands back.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-run outcomes, in run order.
+    pub outcomes: Vec<RunOutcome>,
+    /// The aggregated summary (CSV/JSON-serializable).
+    pub summary: CampaignSummary,
+    /// Wall-clock duration of the whole execution (prelude + runs).
+    pub wall: Duration,
+    /// Worker threads used (0 = sequential on the calling thread).
+    pub workers: usize,
+}
+
+impl CampaignReport {
+    /// Executed runs per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.outcomes.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The stand-alone IPC reference of every distinct (benign workload,
+/// channel count) pair appearing in `runs`, measured on the unprotected
+/// baseline at the campaign's scale — the denominator of the paper's
+/// weighted/harmonic speedups.
+fn alone_ipc_table(campaign: &CampaignSpec, runs: &[RunSpec]) -> HashMap<(String, usize), f64> {
+    // Deterministic job list: first-appearance order over the ordered
+    // run list.
+    let mut jobs: Vec<((String, usize), SyntheticSpec)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for run in runs {
+        for thread in run.benign_threads() {
+            let ThreadGenerator::Synthetic(spec) = &thread.generator else {
+                continue;
+            };
+            let key = (thread.name.clone(), run.channels);
+            if seen.insert(key.clone()) {
+                jobs.push((key, spec.clone()));
+            }
+        }
+    }
+    let scale = campaign.scale;
+    jobs.into_iter()
+        .map(|((name, channels), spec)| {
+            let result = SystemBuilder::new()
+                .time_scale(scale.time_scale)
+                .llc_capacity(scale.llc_bytes)
+                .seed(campaign.seed)
+                .max_cycles(scale.max_cycles)
+                .min_cycles(scale.min_cycles)
+                .channels(channels)
+                .defense(DefenseKind::Baseline)
+                .add_workload(spec, scale.benign_instructions)
+                .run();
+            ((name, channels), result.threads[0].ipc)
+        })
+        .collect()
+}
+
+/// Fills every run's `alone_ipc` from the reference table.
+fn attach_alone_ipc(
+    runs: &mut [RunSpec],
+    table: &HashMap<(String, usize), f64>,
+) -> Result<(), CampaignError> {
+    for run in runs.iter_mut() {
+        let mut alone = Vec::with_capacity(run.threads.len());
+        for thread in run.threads.iter().filter(|t| !t.is_attacker) {
+            let key = (thread.name.clone(), run.channels);
+            let Some(&ipc) = table.get(&key) else {
+                return Err(CampaignError::Spec {
+                    run: run.name.clone(),
+                    message: format!("no stand-alone IPC reference for `{}`", thread.name),
+                });
+            };
+            alone.push(ipc);
+        }
+        run.alone_ipc = alone;
+    }
+    Ok(())
+}
+
+/// Executes a prepared run list (see [`CampaignSpec::expand`] and
+/// `record_run_traces`) and reduces it to a [`CampaignReport`].
+///
+/// `workers <= 1` executes sequentially on the calling thread; larger
+/// values fan runs out over that many persistent worker threads. The
+/// report — outcomes, aggregation and serialized summaries — is
+/// byte-identical for every worker count.
+///
+/// # Errors
+///
+/// Fails on the first run that cannot execute (unreadable trace file,
+/// inconsistent spec); queued work on other workers is discarded.
+pub fn execute(
+    campaign: &CampaignSpec,
+    mut runs: Vec<RunSpec>,
+    workers: usize,
+) -> Result<CampaignReport, CampaignError> {
+    let started = Instant::now();
+    if campaign.normalize {
+        let table = alone_ipc_table(campaign, &runs);
+        attach_alone_ipc(&mut runs, &table)?;
+    }
+    let total = runs.len();
+    let mut aggregator = CampaignAggregator::new(campaign.name.clone());
+    let mut outcomes = Vec::with_capacity(total);
+    let mut deliver = |outcome: RunOutcome, outcomes: &mut Vec<RunOutcome>| {
+        aggregator.absorb(&outcome);
+        outcomes.push(outcome);
+    };
+    if workers <= 1 {
+        for run in &runs {
+            deliver(run_spec(run)?, &mut outcomes);
+        }
+    } else {
+        let mut pool: WorkerPool<(), RunSpec, Result<RunOutcome, CampaignError>> =
+            WorkerPool::new(workers, |(), run: &mut RunSpec| run_spec(run));
+        let mut queue: std::collections::VecDeque<RunSpec> = runs.drain(..).collect();
+        let mut dispatched = 0usize;
+        let mut collected = 0usize;
+        while collected < total {
+            // Keep every worker fed, at most one queued job ahead each.
+            while dispatched < total && dispatched - collected < 2 * workers {
+                let run = queue.pop_front().expect("one queued spec per dispatch");
+                pool.dispatch(dispatched % workers, (), run);
+                dispatched += 1;
+            }
+            // Collect strictly in run order: run i always comes back from
+            // slot i % workers, and each slot answers in dispatch order.
+            let (_, result) = pool.collect(collected % workers);
+            collected += 1;
+            deliver(result?, &mut outcomes);
+        }
+    }
+    Ok(CampaignReport {
+        outcomes,
+        summary: aggregator.finish(),
+        wall: started.elapsed(),
+        workers: if workers <= 1 { 0 } else { workers },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> CampaignSpec {
+        let mut campaign = CampaignSpec::smoke();
+        campaign.mix_count = 1;
+        campaign.threads_per_mix = 2;
+        campaign.scale.benign_instructions = 400;
+        campaign.scale.min_cycles = 20_000;
+        campaign
+    }
+
+    #[test]
+    fn sequential_execution_produces_metrics_and_order() {
+        let campaign = tiny_campaign();
+        let report = execute(&campaign, campaign.expand(), 0).expect("campaign runs");
+        assert_eq!(report.outcomes.len(), campaign.run_count());
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.index, i);
+            assert!(outcome.metrics.is_some(), "normalized campaign has metrics");
+        }
+        assert_eq!(report.summary.runs, campaign.run_count());
+        assert!(report.runs_per_sec() > 0.0);
+        // Every sweep point must have normalized metrics (Baseline is in
+        // the defense axis).
+        assert!(report.summary.points.iter().all(|p| p.normalized.is_some()));
+    }
+
+    #[test]
+    fn normalization_can_be_disabled() {
+        let mut campaign = tiny_campaign();
+        campaign.normalize = false;
+        let report = execute(&campaign, campaign.expand(), 0).expect("campaign runs");
+        assert!(report.outcomes.iter().all(|o| o.metrics.is_none()));
+        assert!(report.summary.points.iter().all(|p| p.metrics.is_none()));
+    }
+
+    #[test]
+    fn missing_alone_reference_is_reported() {
+        let campaign = tiny_campaign();
+        let mut runs = campaign.expand();
+        // Give a benign thread a non-synthetic generator: the prelude
+        // cannot measure a stand-alone IPC for it, which must surface as
+        // an error, not a panic.
+        let victim = runs
+            .iter_mut()
+            .flat_map(|r| r.threads.iter_mut())
+            .find(|t| !t.is_attacker)
+            .expect("a benign thread exists");
+        victim.name = "not-a-workload".to_owned();
+        victim.generator = ThreadGenerator::Attack(workloads::AttackKind::DoubleSided);
+        match execute(&campaign, runs, 0) {
+            Err(CampaignError::Spec { message, .. }) => {
+                assert!(message.contains("not-a-workload"))
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+}

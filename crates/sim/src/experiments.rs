@@ -188,7 +188,7 @@ fn run_mix(
         .rowhammer_threshold(paper_n_rh)
         .seed(scale.seed ^ mix.seed);
     if mix.has_attacker() {
-        builder = builder.add_attacker();
+        builder = builder.add_attacker_kind(mix.attack);
     }
     for workload in &mix.benign {
         builder = builder.add_workload(workload.synthetic.clone(), scale.benign_instructions);

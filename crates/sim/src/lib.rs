@@ -36,14 +36,15 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod subsystem;
 
 mod defense_factory;
-mod pool;
 mod system;
 
 pub use defense_factory::DefenseKind;
 pub use metrics::{ChannelStats, MultiProgramMetrics, RunResult, ThreadResult};
+pub use pool::WorkerPool;
 pub use subsystem::{MemorySubsystem, SteppingMode};
-pub use system::{System, SystemBuilder, SystemConfig};
+pub use system::{BoxedTrace, System, SystemBuilder, SystemConfig};

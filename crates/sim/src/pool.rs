@@ -1,65 +1,80 @@
-//! A persistent worker pool for stepping channel shards.
+//! A persistent worker pool for deterministic fan-out of simulation work.
 //!
-//! The scoped-thread stepping mode spawns (and joins) one OS thread per
-//! shard on *every* simulated cycle, which dominates its cost at low
-//! channel counts. This pool spawns each worker thread once and keeps it
-//! alive for the lifetime of the subsystem; per cycle, the owner *moves*
-//! each shard to its worker over a channel, the worker ticks it, and the
-//! shard travels back together with its completion list. Moving a shard is
-//! a shallow struct copy (its queues and filters live behind pointers), so
-//! the per-cycle cost is two channel handoffs per worker instead of a
-//! thread spawn + join.
+//! Originally built to step channel shards: the scoped-thread stepping mode
+//! spawns (and joins) one OS thread per shard on *every* simulated cycle,
+//! which dominates its cost at low channel counts. This pool spawns each
+//! worker thread once and keeps it alive for the lifetime of its owner;
+//! per step, the owner *moves* each work item to its worker over a channel,
+//! the worker processes it, and the item travels back together with the
+//! result. Moving an item is a shallow struct copy (its queues and filters
+//! live behind pointers), so the per-step cost is two channel handoffs per
+//! worker instead of a thread spawn + join.
 //!
-//! The pool is generic over the work item so it stays decoupled from the
-//! subsystem's (private) shard type. It knows nothing about cycles beyond
-//! passing the `Cycle` argument through to the work function.
+//! The pool is generic over three types so the same mechanism serves both
+//! of its users:
+//!
+//! * **shard stepping** (`sim::subsystem`): the context is the current
+//!   [`Cycle`](bh_types::Cycle), the item a channel shard, the result its
+//!   completion list;
+//! * **campaign execution** (the `campaign` crate): the context is `()`,
+//!   the item a whole run specification, the result the finished run's
+//!   outcome — entire simulations fan out across the same persistent
+//!   workers.
+//!
+//! Determinism is the caller's contract: `dispatch`/`collect` address
+//! worker slots explicitly, so a caller that collects results in its own
+//! fixed order observes output identical to sequential execution no matter
+//! how long each worker actually takes.
 
-use bh_types::Cycle;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 
 /// Bounded busy-wait before parking on the result channel: if the worker
-/// finishes while the owner is still distributing work or stepping its own
-/// shard, the result is usually ready by the time it is asked for, and
+/// finishes while the owner is still distributing work or doing its own
+/// share, the result is usually ready by the time it is asked for, and
 /// spinning briefly avoids a futex round trip. Kept small so a
 /// single-hardware-thread host degrades gracefully.
 const RESULT_SPIN: u32 = 256;
 
 /// One persistent worker owning a job and a result channel.
-struct Worker<T, R> {
-    job_tx: Option<Sender<(Cycle, T)>>,
+struct Worker<C, T, R> {
+    job_tx: Option<Sender<(C, T)>>,
     result_rx: Receiver<(T, R)>,
     handle: Option<JoinHandle<()>>,
 }
 
 /// A pool of persistent worker threads, one per work slot.
-pub(crate) struct WorkerPool<T: Send + 'static, R: Send + 'static> {
-    workers: Vec<Worker<T, R>>,
+///
+/// `C` is a per-dispatch context value passed through to the work function
+/// (the simulation cycle for shard stepping, `()` for whole-run jobs),
+/// `T` the work item (moved to the worker and back), and `R` the result.
+pub struct WorkerPool<C: Send + 'static, T: Send + 'static, R: Send + 'static> {
+    workers: Vec<Worker<C, T, R>>,
 }
 
-impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
+impl<C: Send + 'static, T: Send + 'static, R: Send + 'static> WorkerPool<C, T, R> {
     /// Spawns `slots` worker threads, each running `work` on every item it
     /// receives until the pool is dropped.
-    pub(crate) fn new<F>(slots: usize, work: F) -> Self
+    pub fn new<F>(slots: usize, work: F) -> Self
     where
-        F: Fn(Cycle, &mut T) -> R + Send + Clone + 'static,
+        F: Fn(C, &mut T) -> R + Send + Clone + 'static,
     {
         let workers = (0..slots)
             .map(|slot| {
-                let (job_tx, job_rx) = channel::<(Cycle, T)>();
+                let (job_tx, job_rx) = channel::<(C, T)>();
                 let (result_tx, result_rx) = channel::<(T, R)>();
                 let work = work.clone();
                 let handle = std::thread::Builder::new()
-                    .name(format!("shard-worker-{slot}"))
+                    .name(format!("pool-worker-{slot}"))
                     .spawn(move || {
-                        while let Ok((now, mut item)) = job_rx.recv() {
-                            let result = work(now, &mut item);
+                        while let Ok((ctx, mut item)) = job_rx.recv() {
+                            let result = work(ctx, &mut item);
                             if result_tx.send((item, result)).is_err() {
                                 break;
                             }
                         }
                     })
-                    .expect("failed to spawn shard worker thread");
+                    .expect("failed to spawn pool worker thread");
                 Worker {
                     job_tx: Some(job_tx),
                     result_rx,
@@ -71,30 +86,33 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
     }
 
     /// Number of worker slots.
-    #[cfg(test)]
-    pub(crate) fn slots(&self) -> usize {
+    pub fn slots(&self) -> usize {
         self.workers.len()
     }
 
-    /// Hands `item` to worker `slot` for one step at `now`.
-    pub(crate) fn dispatch(&self, slot: usize, now: Cycle, item: T) {
+    /// Hands `item` to worker `slot` for one step with context `ctx`.
+    ///
+    /// A slot processes one item at a time: dispatching twice to the same
+    /// slot without an intervening [`WorkerPool::collect`] queues the
+    /// second item behind the first.
+    pub fn dispatch(&self, slot: usize, ctx: C, item: T) {
         self.workers[slot]
             .job_tx
             .as_ref()
             .expect("pool is live")
-            .send((now, item))
-            .expect("shard worker exited unexpectedly");
+            .send((ctx, item))
+            .expect("pool worker exited unexpectedly");
     }
 
-    /// Waits for worker `slot` to finish its current step and returns the
-    /// item together with the step result.
+    /// Waits for worker `slot` to finish its oldest outstanding step and
+    /// returns the item together with the step result.
     ///
     /// # Panics
     ///
     /// If the worker thread died (a panic inside the work function), the
     /// worker is joined and its original panic payload is re-raised on
     /// the calling thread.
-    pub(crate) fn collect(&mut self, slot: usize) -> (T, R) {
+    pub fn collect(&mut self, slot: usize) -> (T, R) {
         let worker = &mut self.workers[slot];
         for _ in 0..RESULT_SPIN {
             match worker.result_rx.try_recv() {
@@ -114,17 +132,17 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
 /// panicked. Join the thread to recover the original panic payload and
 /// re-raise it here, so the caller sees the real failure instead of a
 /// generic "worker died" message.
-fn propagate_worker_panic<T, R>(worker: &mut Worker<T, R>) -> ! {
+fn propagate_worker_panic<C, T, R>(worker: &mut Worker<C, T, R>) -> ! {
     worker.job_tx.take();
     if let Some(handle) = worker.handle.take() {
         if let Err(payload) = handle.join() {
             std::panic::resume_unwind(payload);
         }
     }
-    panic!("shard worker exited without delivering a result");
+    panic!("pool worker exited without delivering a result");
 }
 
-impl<T: Send + 'static, R: Send + 'static> Drop for WorkerPool<T, R> {
+impl<C: Send + 'static, T: Send + 'static, R: Send + 'static> Drop for WorkerPool<C, T, R> {
     fn drop(&mut self) {
         // Closing the job channels lets every worker fall out of its loop;
         // join afterwards so worker panics surface during tests.
@@ -147,7 +165,7 @@ mod tests {
 
     #[test]
     fn workers_step_items_and_hand_them_back() {
-        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(3, |now, item| {
+        let mut pool: WorkerPool<u64, u64, u64> = WorkerPool::new(3, |now, item| {
             *item += now;
             *item
         });
@@ -165,8 +183,29 @@ mod tests {
     }
 
     #[test]
+    fn unit_context_jobs_run() {
+        let mut pool: WorkerPool<(), String, usize> =
+            WorkerPool::new(2, |(), item: &mut String| item.len());
+        pool.dispatch(0, (), "four".to_owned());
+        pool.dispatch(1, (), "seven!!".to_owned());
+        let (item, len) = pool.collect(0);
+        assert_eq!((item.as_str(), len), ("four", 4));
+        let (item, len) = pool.collect(1);
+        assert_eq!((item.as_str(), len), ("seven!!", 7));
+    }
+
+    #[test]
+    fn a_slot_queues_back_to_back_dispatches_in_order() {
+        let mut pool: WorkerPool<u64, u64, u64> = WorkerPool::new(1, |ctx, item| *item * 10 + ctx);
+        pool.dispatch(0, 1, 1);
+        pool.dispatch(0, 2, 2);
+        assert_eq!(pool.collect(0).1, 11);
+        assert_eq!(pool.collect(0).1, 22);
+    }
+
+    #[test]
     fn dropping_the_pool_joins_the_workers() {
-        let mut pool: WorkerPool<u32, u32> = WorkerPool::new(2, |_, item| *item);
+        let mut pool: WorkerPool<u64, u32, u32> = WorkerPool::new(2, |_, item| *item);
         pool.dispatch(0, 0, 7);
         let (item, _) = pool.collect(0);
         assert_eq!(item, 7);

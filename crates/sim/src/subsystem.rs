@@ -83,7 +83,7 @@ pub struct MemorySubsystem {
     stepping: SteppingMode,
     /// Lazily-created persistent workers for [`SteppingMode::WorkerPool`]
     /// (one per shard beyond the first).
-    pool: Option<WorkerPool<ChannelShard, Vec<CompletedRequest>>>,
+    pool: Option<WorkerPool<Cycle, ChannelShard, Vec<CompletedRequest>>>,
 }
 
 impl MemorySubsystem {

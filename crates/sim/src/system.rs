@@ -10,7 +10,7 @@ use energy::{Ddr4PowerSpec, DramEnergyModel};
 use llc::{AccessResult, Llc, LlcConfig};
 use memctrl::MemCtrlConfig;
 use mitigations::{DefenseGeometry, RowHammerDefense, RowHammerThreshold};
-use workloads::{AttackSpec, DoubleSidedAttack, SyntheticSpec};
+use workloads::{AttackKind, AttackSpec, SyntheticSpec};
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -428,13 +428,17 @@ impl System {
 }
 
 /// Convenience builder assembling a [`System`] from workload specs, an
-/// optional attacker, a defense kind and scaling options.
+/// optional attacker, optional pre-recorded traces, a defense kind and
+/// scaling options.
 pub struct SystemBuilder {
     config: SystemConfig,
     defense: DefenseKind,
     paper_n_rh: u64,
     workloads: Vec<(SyntheticSpec, u64)>,
-    with_attacker: bool,
+    attacker: Option<AttackKind>,
+    /// Pre-built trace threads (name, trace, is_attacker, instruction
+    /// limit), appended after the synthetic workloads in thread order.
+    trace_threads: Vec<(String, BoxedTrace, bool, u64)>,
 }
 
 impl Default for SystemBuilder {
@@ -452,7 +456,8 @@ impl SystemBuilder {
             defense: DefenseKind::Baseline,
             paper_n_rh: 32_768,
             workloads: Vec::new(),
-            with_attacker: false,
+            attacker: None,
+            trace_threads: Vec::new(),
         }
     }
 
@@ -555,7 +560,34 @@ impl SystemBuilder {
 
     /// Adds a double-sided RowHammer attacker as thread 0.
     pub fn add_attacker(mut self) -> Self {
-        self.with_attacker = true;
+        self.attacker = Some(AttackKind::DoubleSided);
+        self
+    }
+
+    /// Adds a RowHammer attacker of the given pattern as thread 0.
+    /// `add_attacker_kind(AttackKind::DoubleSided)` is identical to
+    /// [`SystemBuilder::add_attacker`].
+    pub fn add_attacker_kind(mut self, kind: AttackKind) -> Self {
+        self.attacker = Some(kind);
+        self
+    }
+
+    /// Adds a thread driven by a pre-built trace (e.g. replayed from a
+    /// trace file). Trace threads are appended after the synthetic
+    /// workloads in thread order and are *not* relocated: the records'
+    /// addresses are used verbatim, so a trace recorded from a built
+    /// system replays bit-identically. `is_attacker` threads are excluded
+    /// from the run-completion criterion (they run until the benign
+    /// threads finish).
+    pub fn add_trace(
+        mut self,
+        name: impl Into<String>,
+        trace: BoxedTrace,
+        is_attacker: bool,
+        instruction_limit: u64,
+    ) -> Self {
+        self.trace_threads
+            .push((name.into(), trace, is_attacker, instruction_limit));
         self
     }
 
@@ -568,23 +600,34 @@ impl SystemBuilder {
     /// callers deriving mechanism configurations, e.g. BlockHammer's
     /// Table 1 parameters).
     pub fn geometry_preview(&self) -> DefenseGeometry {
-        let threads = self.workloads.len() + usize::from(self.with_attacker);
-        self.config.defense_geometry(threads.max(1))
+        self.config.defense_geometry(self.thread_count().max(1))
     }
 
-    /// Builds the system, instantiating one independent defense per memory
-    /// channel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no workload (and no attacker) was added.
-    pub fn build(mut self) -> System {
+    /// Total threads the built system will have (attacker + synthetic
+    /// workloads + trace threads).
+    fn thread_count(&self) -> usize {
+        self.workloads.len() + self.trace_threads.len() + usize::from(self.attacker.is_some())
+    }
+
+    /// Materializes the builder into its parts: the finalized
+    /// configuration, the per-thread traces in thread order, and the
+    /// per-channel defenses. Shared by [`SystemBuilder::build`] and
+    /// [`SystemBuilder::into_thread_traces`] so both observe the exact
+    /// same thread construction (ordering, address slicing, seeding).
+    #[allow(clippy::type_complexity)]
+    fn into_parts(
+        mut self,
+    ) -> (
+        SystemConfig,
+        Vec<(String, BoxedTrace, bool, u64)>,
+        Vec<Box<dyn RowHammerDefense>>,
+    ) {
         assert!(
-            !self.workloads.is_empty() || self.with_attacker,
+            self.thread_count() > 0,
             "add at least one workload or an attacker"
         );
         self.config.n_rh = self.effective_n_rh();
-        let thread_count = self.workloads.len() + usize::from(self.with_attacker);
+        let thread_count = self.thread_count();
         let geometry = self.config.defense_geometry(thread_count);
         let defenses = self.defense.build_per_channel(
             self.config.memctrl.organization.channels,
@@ -596,11 +639,10 @@ impl SystemBuilder {
         let organization_geometry = self.config.memctrl.organization.geometry();
         let mapping = self.config.memctrl.mapping;
         let mut traces: Vec<(String, BoxedTrace, bool, u64)> = Vec::new();
-        if self.with_attacker {
-            let attack =
-                DoubleSidedAttack::new(AttackSpec::default_for(mapping, organization_geometry));
+        if let Some(kind) = self.attacker {
+            let attack = kind.build(AttackSpec::default_for(mapping, organization_geometry));
             traces.push((
-                "attacker.double_sided".to_owned(),
+                format!("attacker.{}", kind.label()),
                 Box::new(attack),
                 true,
                 u64::MAX,
@@ -610,7 +652,7 @@ impl SystemBuilder {
         // do not share cache lines or rows.
         let slice = organization_geometry.capacity_bytes() / (thread_count as u64 + 1);
         for (index, (spec, limit)) in self.workloads.iter().enumerate() {
-            let base = slice * (index as u64 + usize::from(self.with_attacker) as u64);
+            let base = slice * (index as u64 + usize::from(self.attacker.is_some()) as u64);
             let relocated = spec.clone().at_base(base);
             let seed = self.config.seed ^ ((index as u64 + 1) * 0x9E37_79B9);
             traces.push((
@@ -620,7 +662,35 @@ impl SystemBuilder {
                 *limit,
             ));
         }
-        System::new(self.config, traces, defenses)
+        // Trace-driven threads come last: their records carry absolute
+        // addresses, so they need no relocation.
+        traces.extend(self.trace_threads);
+        (self.config, traces, defenses)
+    }
+
+    /// Builds the system, instantiating one independent defense per memory
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload, trace thread or attacker was added.
+    pub fn build(self) -> System {
+        let (config, traces, defenses) = self.into_parts();
+        System::new(config, traces, defenses)
+    }
+
+    /// Consumes the builder and hands back the exact per-thread traces
+    /// `build` would feed the system — `(name, trace, is_attacker,
+    /// instruction_limit)` in thread order, with the same address slicing
+    /// and per-thread seeding. This is what trace recorders consume: a
+    /// trace file recorded from these iterators replays the run bit for
+    /// bit (see the `campaign` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload, trace thread or attacker was added.
+    pub fn into_thread_traces(self) -> Vec<(String, BoxedTrace, bool, u64)> {
+        self.into_parts().1
     }
 
     /// Builds and runs the system, returning the collected results.
@@ -838,6 +908,73 @@ mod tests {
                 assert_eq!(a.max_rhli, b.max_rhli);
             }
         }
+    }
+
+    #[test]
+    fn trace_threads_replay_bit_identically_to_their_generators() {
+        // A system fed from materialized traces (via into_thread_traces)
+        // must reproduce the generator-driven run exactly — the foundation
+        // of the campaign crate's record/replay path.
+        let make = || {
+            quick_builder()
+                .defense(DefenseKind::BlockHammer)
+                .add_attacker()
+                .add_workload(SyntheticSpec::high_intensity("h0", 0), 2_000)
+                .add_workload(SyntheticSpec::medium_intensity("m1", 1), 2_000)
+        };
+        let generated = make().run();
+        // Materialize the exact thread traces, bound the infinite attacker
+        // stream to full periods, and replay through add_trace.
+        let threads = make().into_thread_traces();
+        let mut replay = quick_builder().defense(DefenseKind::BlockHammer);
+        for (name, trace, is_attacker, limit) in threads {
+            let records: Vec<TraceRecord> = if is_attacker {
+                // 2 aggressors x banks per full period; capture many
+                // periods so the bounded replay outlives the run.
+                trace.take(1 << 17).collect()
+            } else {
+                // Enough records to cover the instruction limit.
+                let mut taken = Vec::new();
+                let mut instructions = 0u64;
+                for record in trace {
+                    instructions += record.instructions();
+                    taken.push(record);
+                    if instructions >= limit + 64 {
+                        break;
+                    }
+                }
+                taken
+            };
+            replay = replay.add_trace(name, Box::new(records.into_iter()), is_attacker, limit);
+        }
+        let replayed = replay.run();
+        assert_eq!(generated.total_cycles, replayed.total_cycles);
+        assert_eq!(generated.dram.totals(), replayed.dram.totals());
+        assert_eq!(generated.ctrl, replayed.ctrl);
+        for (a, b) in generated.threads.iter().zip(&replayed.threads) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.is_attacker, b.is_attacker);
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.memory_requests, b.memory_requests);
+            assert_eq!(a.max_rhli, b.max_rhli);
+        }
+    }
+
+    #[test]
+    fn attacker_kind_default_matches_add_attacker() {
+        let run = |builder: SystemBuilder| {
+            builder
+                .defense(DefenseKind::BlockHammer)
+                .add_workload(SyntheticSpec::high_intensity("h0", 0), 2_000)
+                .run()
+        };
+        let implicit = run(quick_builder().add_attacker());
+        let explicit = run(quick_builder().add_attacker_kind(workloads::AttackKind::DoubleSided));
+        assert_eq!(implicit.total_cycles, explicit.total_cycles);
+        assert_eq!(implicit.dram.totals(), explicit.dram.totals());
+        assert_eq!(implicit.threads[0].name, "attacker.double_sided");
+        assert_eq!(explicit.threads[0].name, "attacker.double_sided");
     }
 
     #[test]

@@ -9,6 +9,95 @@
 
 use bh_types::{AddressMapping, AddressMappingGeometry, DramAddress, TraceRecord};
 
+/// Which access pattern an attacker thread runs.
+///
+/// The paper's evaluation uses the double-sided attack exclusively; the
+/// other variants exist for the extension experiments (and for campaigns
+/// that sweep over attack patterns). All variants are periodic: they cycle
+/// over a fixed address list, so a recorded trace of one full period
+/// replayed in a loop reproduces the generator bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Two aggressor rows sandwiching the victim (the paper's Section 7
+    /// attack model, and the default everywhere).
+    DoubleSided,
+    /// A single aggressor row directly below the victim.
+    SingleSided,
+    /// `sides` aggressor rows around the victim (the TRRespass-style
+    /// pattern used to defeat in-DRAM TRR).
+    ManySided {
+        /// Number of aggressor rows per attacked bank.
+        sides: u32,
+    },
+}
+
+impl Default for AttackKind {
+    /// The paper's attack model.
+    fn default() -> Self {
+        AttackKind::DoubleSided
+    }
+}
+
+impl AttackKind {
+    /// Stable snake_case label used in thread names and reports (e.g.
+    /// `attacker.double_sided`).
+    pub fn label(&self) -> String {
+        match self {
+            AttackKind::DoubleSided => "double_sided".to_owned(),
+            AttackKind::SingleSided => "single_sided".to_owned(),
+            AttackKind::ManySided { sides } => format!("many_sided_{sides}"),
+        }
+    }
+
+    /// Builds the trace generator for this kind of attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the underlying generator
+    /// constructors (victim row too close to a bank edge, zero banks).
+    pub fn build(&self, spec: AttackSpec) -> AttackGenerator {
+        match self {
+            AttackKind::DoubleSided => AttackGenerator::Double(DoubleSidedAttack::new(spec)),
+            AttackKind::SingleSided => AttackGenerator::Many(ManySidedAttack::new(spec, 1)),
+            AttackKind::ManySided { sides } => {
+                AttackGenerator::Many(ManySidedAttack::new(spec, *sides))
+            }
+        }
+    }
+}
+
+/// A built attack trace generator of any [`AttackKind`].
+#[derive(Debug, Clone)]
+pub enum AttackGenerator {
+    /// A [`DoubleSidedAttack`].
+    Double(DoubleSidedAttack),
+    /// A [`ManySidedAttack`] (also used for single-sided: one aggressor).
+    Many(ManySidedAttack),
+}
+
+impl AttackGenerator {
+    /// The generator's period: it repeats its address stream every
+    /// `period()` records, so recording that many records and looping the
+    /// file reproduces the infinite stream exactly.
+    pub fn period(&self) -> usize {
+        match self {
+            AttackGenerator::Double(a) => a.address_count(),
+            AttackGenerator::Many(a) => a.address_count(),
+        }
+    }
+}
+
+impl Iterator for AttackGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        match self {
+            AttackGenerator::Double(a) => a.next(),
+            AttackGenerator::Many(a) => a.next(),
+        }
+    }
+}
+
 /// Parameters shared by the attack generators.
 #[derive(Debug, Clone, Copy)]
 pub struct AttackSpec {
@@ -154,6 +243,11 @@ impl ManySidedAttack {
             cursor: 0,
         }
     }
+
+    /// The distinct physical addresses the attack cycles over.
+    pub fn address_count(&self) -> usize {
+        self.addresses.len()
+    }
 }
 
 impl Iterator for ManySidedAttack {
@@ -236,6 +330,56 @@ mod tests {
         for row in rows {
             assert!((row as i64 - s.victim_row as i64).unsigned_abs() <= 3);
         }
+    }
+
+    #[test]
+    fn attack_kinds_build_periodic_generators() {
+        let s = spec();
+        for kind in [
+            AttackKind::DoubleSided,
+            AttackKind::SingleSided,
+            AttackKind::ManySided { sides: 4 },
+        ] {
+            let generator = kind.build(s);
+            let period = generator.period();
+            assert!(period > 0, "{} has a zero period", kind.label());
+            let records: Vec<_> = kind.build(s).take(2 * period).collect();
+            assert_eq!(
+                &records[..period],
+                &records[period..],
+                "{} does not repeat after one period",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn double_sided_kind_matches_the_direct_generator() {
+        let s = spec();
+        let via_kind: Vec<_> = AttackKind::DoubleSided.build(s).take(64).collect();
+        let direct: Vec<_> = DoubleSidedAttack::new(s).take(64).collect();
+        assert_eq!(via_kind, direct);
+    }
+
+    #[test]
+    fn single_sided_uses_one_aggressor_row() {
+        let s = spec();
+        let mapping = s.mapping;
+        let geometry = s.geometry;
+        let rows: std::collections::HashSet<u64> = AttackKind::SingleSided
+            .build(s)
+            .take(4 * s.geometry.total_banks())
+            .map(|r| mapping.decode(&geometry, r.address).row())
+            .collect();
+        assert_eq!(rows, std::collections::HashSet::from([s.victim_row - 1]));
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(AttackKind::DoubleSided.label(), "double_sided");
+        assert_eq!(AttackKind::SingleSided.label(), "single_sided");
+        assert_eq!(AttackKind::ManySided { sides: 6 }.label(), "many_sided_6");
+        assert_eq!(AttackKind::default(), AttackKind::DoubleSided);
     }
 
     #[test]

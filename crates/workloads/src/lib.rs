@@ -34,7 +34,7 @@ mod catalog;
 mod mix;
 mod synthetic;
 
-pub use attack::{AttackSpec, DoubleSidedAttack, ManySidedAttack};
+pub use attack::{AttackGenerator, AttackKind, AttackSpec, DoubleSidedAttack, ManySidedAttack};
 pub use catalog::{benign_catalog, WorkloadCategory, WorkloadSpec};
 pub use mix::{MixKind, WorkloadMix};
 pub use synthetic::{AccessPattern, SyntheticSpec, SyntheticWorkload};

@@ -5,7 +5,7 @@
 //! replaced by a double-sided RowHammer attack (Section 7). [`WorkloadMix`]
 //! reproduces that construction deterministically from a seed.
 
-use crate::attack::AttackSpec;
+use crate::attack::{AttackGenerator, AttackKind, AttackSpec};
 use crate::catalog::{benign_catalog, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +15,8 @@ use rand::{Rng, SeedableRng};
 pub enum MixKind {
     /// All threads are benign applications.
     BenignOnly,
-    /// Thread 0 is a double-sided RowHammer attack; the rest are benign.
+    /// Thread 0 is a RowHammer attack (see [`WorkloadMix::attack`] for the
+    /// pattern; the paper's default is double-sided); the rest are benign.
     WithAttacker,
 }
 
@@ -32,6 +33,11 @@ pub struct WorkloadMix {
     pub benign: Vec<WorkloadSpec>,
     /// Seed that selected the members (kept for reproducibility reports).
     pub seed: u64,
+    /// The attack pattern thread 0 runs when [`MixKind::WithAttacker`]
+    /// (ignored for benign-only mixes). Defaults to the paper's
+    /// double-sided attack; carrying the kind on the mix lets campaigns
+    /// sweep over single-sided and many-sided attackers too.
+    pub attack: AttackKind,
 }
 
 impl WorkloadMix {
@@ -53,17 +59,32 @@ impl WorkloadMix {
             kind: MixKind::BenignOnly,
             benign,
             seed,
+            attack: AttackKind::DoubleSided,
         }
     }
 
-    /// Builds a mix with one attacker thread and `threads - 1` benign
-    /// threads.
+    /// Builds a mix with one double-sided attacker thread (the paper's
+    /// attack model) and `threads - 1` benign threads.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is less than two (an attack-present mix needs at
     /// least one benign thread to measure).
     pub fn with_attacker(index: usize, threads: usize, seed: u64) -> Self {
+        Self::with_attacker_kind(index, threads, seed, AttackKind::DoubleSided)
+    }
+
+    /// Like [`WorkloadMix::with_attacker`], but with an explicit attack
+    /// pattern for thread 0. The benign-member selection is identical for
+    /// every kind (the kind does not touch the RNG), so
+    /// `with_attacker_kind(i, t, s, AttackKind::DoubleSided)` is
+    /// bit-identical to `with_attacker(i, t, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is less than two (an attack-present mix needs at
+    /// least one benign thread to measure).
+    pub fn with_attacker_kind(index: usize, threads: usize, seed: u64, attack: AttackKind) -> Self {
         assert!(
             threads >= 2,
             "an attack mix needs at least one benign thread"
@@ -71,6 +92,7 @@ impl WorkloadMix {
         let mut mix = Self::benign(index, threads - 1, seed ^ 0xA77A);
         mix.name = format!("mix-{index:03}-attack");
         mix.kind = MixKind::WithAttacker;
+        mix.attack = attack;
         mix
     }
 
@@ -97,6 +119,17 @@ impl WorkloadMix {
             .then(|| AttackSpec::default_for(mapping, geometry))
     }
 
+    /// The built trace generator for the attacker thread (thread 0), if
+    /// any, using the mix's [`WorkloadMix::attack`] pattern.
+    pub fn attack_generator(
+        &self,
+        mapping: bh_types::AddressMapping,
+        geometry: bh_types::AddressMappingGeometry,
+    ) -> Option<AttackGenerator> {
+        self.attack_spec(mapping, geometry)
+            .map(|spec| self.attack.build(spec))
+    }
+
     /// Generates the standard evaluation suites: `count` benign-only mixes
     /// and `count` attack-present mixes of `threads` threads each.
     pub fn evaluation_suites(count: usize, threads: usize, seed: u64) -> (Vec<Self>, Vec<Self>) {
@@ -111,6 +144,19 @@ impl WorkloadMix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The benign members `with_attacker(3, 8, 42)` selected when the mix
+    /// construction was frozen (PR 4). See
+    /// [`default_construction_is_pinned`].
+    const PINNED_MIX_003_ATTACK_SEED42: [&str; 7] = [
+        "450.soplex.like",
+        "433.milc.like",
+        "ycsb.A.like",
+        "437.leslie3d.like",
+        "ycsb.F.like",
+        "473.astar.like",
+        "movnti.colmaj.like",
+    ];
 
     #[test]
     fn benign_mix_has_requested_thread_count() {
@@ -159,5 +205,54 @@ mod tests {
     #[should_panic(expected = "at least one benign thread")]
     fn single_thread_attack_mix_is_rejected() {
         let _ = WorkloadMix::with_attacker(0, 1, 1);
+    }
+
+    #[test]
+    fn attack_kind_does_not_perturb_member_selection() {
+        let default = WorkloadMix::with_attacker(5, 8, 42);
+        for kind in [
+            AttackKind::DoubleSided,
+            AttackKind::SingleSided,
+            AttackKind::ManySided { sides: 8 },
+        ] {
+            let explicit = WorkloadMix::with_attacker_kind(5, 8, 42, kind);
+            assert_eq!(explicit.name, default.name);
+            assert_eq!(explicit.kind, default.kind);
+            assert_eq!(explicit.attack, kind);
+            let names = |m: &WorkloadMix| -> Vec<String> {
+                m.benign.iter().map(|w| w.name().to_owned()).collect()
+            };
+            assert_eq!(names(&explicit), names(&default));
+        }
+        assert_eq!(default.attack, AttackKind::DoubleSided);
+    }
+
+    #[test]
+    fn attack_generator_follows_the_mix_kind() {
+        let mapping = bh_types::AddressMapping::default();
+        let geometry = bh_types::AddressMappingGeometry::default();
+        let benign = WorkloadMix::benign(0, 4, 9);
+        assert!(benign.attack_generator(mapping, geometry).is_none());
+        let many = WorkloadMix::with_attacker_kind(0, 4, 9, AttackKind::ManySided { sides: 4 });
+        let generator = many
+            .attack_generator(mapping, geometry)
+            .expect("attack mix has a generator");
+        let direct =
+            AttackKind::ManySided { sides: 4 }.build(AttackSpec::default_for(mapping, geometry));
+        assert_eq!(generator.period(), direct.period());
+        let a: Vec<_> = generator.take(32).collect();
+        let b: Vec<_> = direct.take(32).collect();
+        assert_eq!(a, b);
+    }
+
+    /// Regression pin for the default mix construction: the exact benign
+    /// members of a known (index, threads, seed) triple. If this test
+    /// fails, previously-generated campaign run lists and recorded traces
+    /// no longer correspond to their mixes.
+    #[test]
+    fn default_construction_is_pinned() {
+        let mix = WorkloadMix::with_attacker(3, 8, 42);
+        let names: Vec<&str> = mix.benign.iter().map(|w| w.name()).collect();
+        assert_eq!(names, PINNED_MIX_003_ATTACK_SEED42);
     }
 }

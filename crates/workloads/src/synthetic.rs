@@ -31,7 +31,7 @@ pub enum AccessPattern {
 }
 
 /// Full description of a synthetic benign workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     /// Human-readable name (used in reports and Table 8 reproduction).
     pub name: String,

@@ -1,0 +1,163 @@
+//! A scaled-down paper campaign, end to end and from trace files.
+//!
+//! The pipeline mirrors how the paper's 280-workload evaluation would be
+//! driven at full scale:
+//!
+//! 1. expand a [`CampaignSpec`] into its deterministic run matrix,
+//! 2. record every mix's threads to binary trace files (once per
+//!    mix × channel count — sweep points share traces),
+//! 3. execute the whole matrix from those files, sequentially and on the
+//!    persistent worker pool, and verify the two emit **byte-identical**
+//!    CSV,
+//! 4. write `campaign.csv` / `campaign.json`, re-parse the CSV as a
+//!    self-check, and render the normalized sweep as the same table
+//!    `fig5_multicore` prints.
+//!
+//! ```text
+//! cargo run --release -p examples-bin --bin campaign -- [smoke|quick|standard] [workers N] [out DIR]
+//! ```
+//!
+//! `smoke` is the 8-run CI configuration; `quick` (default) is a
+//! 24-mix × 3-defense × 2-threshold campaign (144 runs); `standard` runs
+//! the same matrix at full experiment scale (much slower).
+
+use campaign::{execute, parse_summary_csv, record_run_traces, CampaignSpec, TraceFormat};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("campaign: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = CampaignSpec::quick(12);
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(2);
+    let mut out_dir = PathBuf::from("target/campaign");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "smoke" => {
+                spec = CampaignSpec::smoke();
+                out_dir = PathBuf::from("target/campaign-smoke");
+            }
+            "quick" => spec = CampaignSpec::quick(12),
+            "standard" => {
+                spec = CampaignSpec::quick(12);
+                spec.name = "paper-mini-standard".to_owned();
+                spec.scale = campaign::RunScale::standard();
+            }
+            "workers" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => workers = n,
+                _ => return fail("workers needs an integer argument >= 2"),
+            },
+            "out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return fail("out needs a directory argument"),
+            },
+            other => {
+                return fail(format!(
+                    "unknown argument `{other}` (expected smoke|quick|standard, workers N, out DIR)"
+                ))
+            }
+        }
+    }
+
+    let runs = spec.expand();
+    println!(
+        "campaign `{}`: {} runs ({} mixes x {} scenarios x {} defenses x {} N_RH x {} channel counts)",
+        spec.name,
+        runs.len(),
+        spec.mix_count,
+        spec.scenarios.len(),
+        spec.defenses.len(),
+        spec.n_rh_points.len(),
+        spec.channel_counts.len(),
+    );
+
+    // Phase 1: record every run's threads to trace files (deduplicated by
+    // mix and channel count).
+    let trace_dir = out_dir.join("traces");
+    let record_started = std::time::Instant::now();
+    let mut replayable = Vec::with_capacity(runs.len());
+    for run in &runs {
+        match record_run_traces(run, &trace_dir, TraceFormat::Binary) {
+            Ok(traced) => replayable.push(traced),
+            Err(e) => return fail(e),
+        }
+    }
+    let trace_files = std::fs::read_dir(&trace_dir)
+        .map(|entries| entries.count())
+        .unwrap_or(0);
+    println!(
+        "recorded {} trace files under {} in {:.2?}",
+        trace_files,
+        trace_dir.display(),
+        record_started.elapsed()
+    );
+
+    // Phase 2: execute from trace files, sequentially and pooled.
+    let sequential = match execute(&spec, replayable.clone(), 0) {
+        Ok(report) => report,
+        Err(e) => return fail(e),
+    };
+    println!(
+        "sequential: {} runs in {:.2?} ({:.2} runs/sec)",
+        sequential.outcomes.len(),
+        sequential.wall,
+        sequential.runs_per_sec()
+    );
+    let pooled = match execute(&spec, replayable, workers) {
+        Ok(report) => report,
+        Err(e) => return fail(e),
+    };
+    println!(
+        "pooled ({workers} workers): {} runs in {:.2?} ({:.2} runs/sec)",
+        pooled.outcomes.len(),
+        pooled.wall,
+        pooled.runs_per_sec()
+    );
+
+    // Phase 3: pooled output must be byte-identical to sequential.
+    let csv = sequential.summary.to_csv();
+    if pooled.summary.to_csv() != csv {
+        return fail("pooled execution emitted different CSV than sequential");
+    }
+    println!("pooled CSV is byte-identical to sequential");
+
+    // Phase 4: persist, self-validate, render.
+    let csv_path = out_dir.join("campaign.csv");
+    let json_path = out_dir.join("campaign.json");
+    if let Err(e) = std::fs::write(&csv_path, &csv) {
+        return fail(e);
+    }
+    if let Err(e) = std::fs::write(&json_path, sequential.summary.to_json()) {
+        return fail(e);
+    }
+    let rows = match parse_summary_csv(&csv) {
+        Ok(rows) => rows,
+        Err(e) => return fail(format!("emitted CSV does not parse: {e}")),
+    };
+    if rows.len() != sequential.summary.points.len() {
+        return fail(format!(
+            "CSV row count {} != {} sweep points",
+            rows.len(),
+            sequential.summary.points.len()
+        ));
+    }
+    println!(
+        "CSV OK ({} sweep-point rows) -> {}\nJSON -> {}\n",
+        rows.len(),
+        csv_path.display(),
+        json_path.display()
+    );
+    println!(
+        "normalized sweep (same table as fig5_multicore):\n\n{}",
+        sim::report::render_multiprogram(&sequential.summary.multiprogram_rows())
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,119 @@
+//! Campaign determinism pins: the same `CampaignSpec` + seed produces
+//! identical run lists and identical aggregated output under sequential
+//! and pooled execution, across worker counts, and whether runs execute
+//! from generators or from recorded trace files.
+
+use campaign::{execute, record_run_traces, CampaignSpec, TraceFormat};
+use std::path::PathBuf;
+
+/// A campaign small enough for the test suite but still covering both
+/// scenarios, two defenses and every aggregation path.
+fn tiny_campaign() -> CampaignSpec {
+    // The CI smoke shape: 2 mixes x 2 scenarios x 2 defenses, four
+    // threads per mix, 2000 instructions. Small enough for the test
+    // suite, large enough that benign threads overlap the phase where
+    // BlockHammer's blacklisting is active (shorter budgets finish
+    // before the defense engages and the comparison is vacuous).
+    let mut campaign = CampaignSpec::smoke();
+    campaign.name = "determinism".to_owned();
+    campaign
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(label)
+}
+
+#[test]
+fn expansion_is_reproducible() {
+    let campaign = tiny_campaign();
+    assert_eq!(campaign.expand(), campaign.expand());
+    assert_eq!(campaign.expand().len(), campaign.run_count());
+}
+
+#[test]
+fn worker_counts_emit_byte_identical_output() {
+    let campaign = tiny_campaign();
+    let sequential = execute(&campaign, campaign.expand(), 0).expect("sequential runs");
+    let csv = sequential.summary.to_csv();
+    let json = sequential.summary.to_json();
+    for workers in [1, 2, 4] {
+        let pooled = execute(&campaign, campaign.expand(), workers).expect("pooled runs");
+        // Outcomes stream back in run order regardless of completion
+        // order...
+        assert_eq!(
+            pooled.outcomes, sequential.outcomes,
+            "{workers}-worker outcomes diverged"
+        );
+        // ...so the aggregate — and its serialized forms — are
+        // byte-identical.
+        assert_eq!(pooled.summary, sequential.summary);
+        assert_eq!(
+            pooled.summary.to_csv(),
+            csv,
+            "{workers}-worker CSV diverged"
+        );
+        assert_eq!(
+            pooled.summary.to_json(),
+            json,
+            "{workers}-worker JSON diverged"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_matches_generator_execution() {
+    let campaign = tiny_campaign();
+    let generated = execute(&campaign, campaign.expand(), 0).expect("generator runs");
+    for format in [TraceFormat::Binary, TraceFormat::Text] {
+        let dir = scratch_dir(&format!("campaign-traces-{format}"));
+        // Start from a clean slate: stale files from older test versions
+        // must not be mistaken for this campaign's traces.
+        let _ = std::fs::remove_dir_all(&dir);
+        let replayable: Vec<_> = campaign
+            .expand()
+            .iter()
+            .map(|run| record_run_traces(run, &dir, format).expect("recording succeeds"))
+            .collect();
+        assert!(
+            replayable
+                .iter()
+                .flat_map(|r| r.threads.iter())
+                .all(|t| t.trace.is_some()),
+            "every thread replays from a file"
+        );
+        let replayed = execute(&campaign, replayable, 2).expect("replayed runs");
+        // Same runs, same outcomes, same bytes — from disk, pooled.
+        assert_eq!(replayed.outcomes, generated.outcomes, "{format} diverged");
+        assert_eq!(replayed.summary.to_csv(), generated.summary.to_csv());
+    }
+}
+
+#[test]
+fn attack_sweep_points_reflect_the_defense() {
+    // Sanity on the aggregate itself: in the attack scenario BlockHammer
+    // must beat the baseline's benign throughput and report attacker
+    // RHLI, with benign RHLI at zero.
+    let campaign = tiny_campaign();
+    let report = execute(&campaign, campaign.expand(), 2).expect("campaign runs");
+    let point = |defense: &str, scenario: &str| {
+        report
+            .summary
+            .points
+            .iter()
+            .find(|p| p.key.defense == defense && p.key.scenario == scenario)
+            .unwrap_or_else(|| panic!("missing sweep point {defense}/{scenario}"))
+    };
+    let baseline = point("Baseline", "attack");
+    let blockhammer = point("BlockHammer", "attack");
+    assert!(
+        blockhammer.mean_benign_ipc > baseline.mean_benign_ipc,
+        "BlockHammer must speed up attacked benign threads \
+         (baseline {:.4}, BlockHammer {:.4})",
+        baseline.mean_benign_ipc,
+        blockhammer.mean_benign_ipc
+    );
+    assert!(blockhammer.max_attacker_rhli > 0.0);
+    assert_eq!(blockhammer.max_benign_rhli, 0.0);
+    let normalized = blockhammer.normalized.expect("normalized metrics");
+    assert!(normalized.weighted_speedup > 1.0);
+}
