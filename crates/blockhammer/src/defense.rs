@@ -181,6 +181,18 @@ impl RowHammerDefense for BlockHammer {
         self.handle_epoch_swap(swapped);
     }
 
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Only the epoch boundary needs a guaranteed tick of its own:
+        // `handle_epoch_swap` swaps the throttler counters once per swap
+        // signal, so jumping across two boundaries would merge two swaps
+        // into one. History-buffer expiry and throttle release need no
+        // candidate — they only matter while the controller is retrying a
+        // vetoed ACT or a rejected request, and both retry loops already
+        // force per-cycle stepping.
+        let at = self.rowblocker.next_epoch_at();
+        (at != Cycle::MAX).then(|| at.max(now + 1))
+    }
+
     fn is_activation_safe(&mut self, now: Cycle, _thread: ThreadId, addr: &DramAddress) -> bool {
         let swapped = self.rowblocker.advance_epochs(now);
         self.handle_epoch_swap(swapped);

@@ -96,6 +96,12 @@ impl RowBlocker {
         &self.stats
     }
 
+    /// The cycle of the next epoch boundary (filter swap), or
+    /// `Cycle::MAX` when the configuration has no filters.
+    pub fn next_epoch_at(&self) -> Cycle {
+        self.next_epoch_at
+    }
+
     fn bank_index(&self, addr: &DramAddress) -> usize {
         self.geometry.global_bank(addr)
     }

@@ -470,6 +470,7 @@ mod tests {
                 },
             ],
             metrics,
+            stepping: sim::SteppingStats::default(),
         }
     }
 

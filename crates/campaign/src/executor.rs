@@ -47,6 +47,43 @@ impl CampaignReport {
     pub fn runs_per_sec(&self) -> f64 {
         self.outcomes.len() as f64 / self.wall.as_secs_f64().max(1e-9)
     }
+
+    /// Per-run idle-skip accounting as CSV (one row per run, in run
+    /// order): how much of each run's simulated time the event-driven
+    /// advance loop skipped. Kept separate from
+    /// [`CampaignSummary`](crate::CampaignSummary)'s CSV/JSON on purpose —
+    /// those artifacts are pinned byte-identical across advance modes,
+    /// while these counters are mode-dependent by construction.
+    pub fn stepping_csv(&self) -> String {
+        let mut csv = String::from(
+            "index,name,defense,channels,total_cycles,cycles_simulated,\
+             cycles_skipped,events_processed,largest_jump,skip_ratio\n",
+        );
+        for outcome in &self.outcomes {
+            let s = &outcome.stepping;
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{:.4}\n",
+                outcome.index,
+                outcome.name,
+                outcome.defense,
+                outcome.channels,
+                outcome.total_cycles,
+                s.cycles_simulated,
+                s.cycles_skipped,
+                s.events_processed,
+                s.largest_jump,
+                s.skip_ratio(),
+            ));
+        }
+        csv
+    }
+}
+
+/// A sensible default worker count for [`execute`] on this machine: all
+/// available hardware threads minus one (keeping the calling/collecting
+/// thread responsive), i.e. 0 — sequential — on a single-core machine.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get().saturating_sub(1))
 }
 
 /// The stand-alone IPC reference of every distinct (benign workload,
@@ -80,6 +117,7 @@ fn alone_ipc_table(campaign: &CampaignSpec, runs: &[RunSpec]) -> HashMap<(String
                 .min_cycles(scale.min_cycles)
                 .channels(channels)
                 .defense(DefenseKind::Baseline)
+                .advance_mode(scale.advance)
                 .add_workload(spec, scale.benign_instructions)
                 .run();
             ((name, channels), result.threads[0].ipc)

@@ -54,7 +54,7 @@ pub mod spec;
 pub mod trace;
 
 pub use aggregate::{parse_summary_csv, CampaignAggregator, CampaignSummary, SweepKey};
-pub use executor::{execute, CampaignReport};
+pub use executor::{default_workers, execute, CampaignReport};
 pub use runner::{record_run_traces, run_spec, CampaignError, RunOutcome, ThreadOutcome};
 pub use spec::{CampaignSpec, RunScale, RunSpec, Scenario, ThreadGenerator, ThreadSpec};
 pub use trace::{

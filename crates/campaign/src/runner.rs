@@ -11,7 +11,7 @@ use crate::spec::{RunSpec, ThreadGenerator};
 use crate::trace::{record_trace_file, TraceError, TraceFormat, TraceSource};
 use bh_types::TraceRecord;
 use memctrl::MemCtrlConfig;
-use sim::{BoxedTrace, MultiProgramMetrics, SystemBuilder};
+use sim::{BoxedTrace, MultiProgramMetrics, SteppingStats, SystemBuilder};
 use std::fmt;
 use std::path::Path;
 use workloads::AttackSpec;
@@ -94,6 +94,11 @@ pub struct RunOutcome {
     /// The paper's multiprogrammed metrics, when the run had stand-alone
     /// IPC references (`RunSpec::alone_ipc`).
     pub metrics: Option<MultiProgramMetrics>,
+    /// Idle-skip accounting of the run's advance loop (how much of the
+    /// run event-driven stepping skipped). Deliberately excluded from the
+    /// summary CSV/JSON so those artifacts stay bit-identical across
+    /// advance modes; reported via `CampaignReport::stepping_csv`.
+    pub stepping: SteppingStats,
 }
 
 impl RunOutcome {
@@ -142,6 +147,7 @@ fn base_builder(spec: &RunSpec) -> SystemBuilder {
         .channels(spec.channels)
         .defense(spec.defense)
         .rowhammer_threshold(spec.paper_n_rh)
+        .advance_mode(spec.scale.advance)
 }
 
 /// The generator-driven builder: attacker and synthetic workloads in
@@ -275,6 +281,7 @@ pub fn run_spec(spec: &RunSpec) -> Result<RunOutcome, CampaignError> {
             })
             .collect(),
         metrics,
+        stepping: result.stepping,
     })
 }
 

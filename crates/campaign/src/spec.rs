@@ -15,7 +15,7 @@
 //! structure at laptop/CI cost.
 
 use crate::trace::TraceSource;
-use sim::DefenseKind;
+use sim::{AdvanceMode, DefenseKind};
 use workloads::{AttackKind, SyntheticSpec, WorkloadMix};
 
 /// Golden-ratio multiplier used to decorrelate per-run seeds.
@@ -35,6 +35,10 @@ pub struct RunScale {
     pub min_cycles: u64,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
+    /// How the simulated clock advances. Event-driven (the default for
+    /// new campaigns) skips provably idle cycles and is bit-identical to
+    /// lockstep, so it never changes campaign results — only wall-clock.
+    pub advance: AdvanceMode,
 }
 
 impl RunScale {
@@ -47,6 +51,7 @@ impl RunScale {
             // Two scaled refresh windows.
             min_cycles: 2 * (204_800_000 / 8192),
             max_cycles: 3_000_000,
+            advance: AdvanceMode::EventDriven,
         }
     }
 
@@ -58,6 +63,7 @@ impl RunScale {
             llc_bytes: 4 << 20,
             min_cycles: 2 * (204_800_000 / 1024),
             max_cycles: 200_000_000,
+            advance: AdvanceMode::EventDriven,
         }
     }
 }

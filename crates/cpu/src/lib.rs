@@ -183,6 +183,36 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
                 && self.window.is_empty())
     }
 
+    /// Whether the next [`Core::tick`] could retire or issue anything.
+    /// Event-driven stepping uses this to decide if the core forces
+    /// per-cycle ticks: a blocked core's tick only bumps unexported stall
+    /// accounting (the window head is incomplete and nothing can issue),
+    /// so skipping its ticks cannot change observable behaviour, while
+    /// any core that could reach the memory system must tick every cycle
+    /// (even a refused request mutates cache and admission statistics).
+    pub fn wants_tick(&self) -> bool {
+        if self.is_finished() {
+            return false;
+        }
+        // Retirement: the window head is complete.
+        if self.window.front().is_some_and(|entry| entry.done) {
+            return true;
+        }
+        // Issue: mirror `tick`'s stop conditions — the instruction limit
+        // and a full window halt issue before any memory attempt.
+        if self.stats.retired_instructions + self.window.len() as u64
+            >= self.config.instruction_limit
+        {
+            return false;
+        }
+        if self.window.len() >= self.config.window_size {
+            return false;
+        }
+        // Anything left to issue? (`!trace_exhausted` over-approximates by
+        // exactly one tick when the trace turns out to be empty.)
+        self.pending_non_memory > 0 || self.pending_access.is_some() || !self.trace_exhausted
+    }
+
     /// Marks the load identified by `token` as complete, unblocking its
     /// window slot for retirement.
     pub fn on_memory_complete(&mut self, token: u64) {

@@ -53,7 +53,7 @@ impl CommandCounts {
 }
 
 /// Aggregate statistics of a [`crate::DramDevice`] over a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DramStats {
     /// Per-rank command counts, indexed by flat rank index.
     pub per_rank: Vec<CommandCounts>,

@@ -365,6 +365,75 @@ impl MemoryController {
         completed
     }
 
+    /// The earliest cycle after `now` at which [`MemoryController::tick`]
+    /// could do observable work: the defense's next self-scheduled event,
+    /// the next pending completion, or the next cycle a command slot
+    /// could issue (or be consumed by) refresh, victim-refresh or demand
+    /// work. `None` means the controller is fully idle (with refresh
+    /// enabled this never happens — the next auto-refresh deadline is
+    /// always a candidate).
+    ///
+    /// Event-driven stepping relies on this being *conservative*: every
+    /// cycle at which `tick` would change observable state is covered by
+    /// a candidate, so skipped cycles are provably no-ops (the per-channel
+    /// command-bus gate makes them early-`continue`s). An early candidate
+    /// only costs an empty tick, never correctness. Retry situations that
+    /// resolve at an unknowable future cycle — a pending refresh waiting
+    /// on tRAS, victim refreshes polling bank state, a defense-vetoed
+    /// ACT — clamp to the very next eligible slot, reproducing lockstep's
+    /// per-slot polling (and its per-poll statistics) exactly.
+    pub fn next_event(&self, now: Cycle, defense: &dyn RowHammerDefense) -> Option<Cycle> {
+        fn merge(best: &mut Option<Cycle>, candidate: Option<Cycle>) {
+            if let Some(at) = candidate {
+                *best = Some(best.map_or(at, |b| b.min(at)));
+            }
+        }
+        let mut next: Option<Cycle> = None;
+        // The defense's own schedule (epoch boundaries) and completion
+        // collection both run unconditionally at the top of every tick.
+        merge(&mut next, defense.next_event(now));
+        merge(
+            &mut next,
+            self.pending_completions.iter().map(|&(at, _)| at).min(),
+        );
+        let org = self.config.organization;
+        for channel in 0..org.channels {
+            let mut slot: Option<Cycle> = None;
+            if self.config.refresh_enabled {
+                for rank_in_channel in 0..org.ranks {
+                    let rank_idx = org.rank_index(channel, rank_in_channel);
+                    if self.refresh_pending[rank_idx] {
+                        // An overdue refresh consumes every slot until it
+                        // issues (precharging open banks as their timings
+                        // allow), so the very next slot matters.
+                        merge(&mut slot, Some(now + 1));
+                    } else {
+                        merge(&mut slot, Some(self.next_refresh[rank_idx]));
+                    }
+                }
+            }
+            if !self.victim_queue.is_empty() {
+                // Victim refreshes poll bank state per slot.
+                merge(&mut slot, Some(now + 1));
+            }
+            for kind in [AccessType::Read, AccessType::Write] {
+                merge(
+                    &mut slot,
+                    self.scheduler.next_demand_event(kind, channel, &self.dram),
+                );
+            }
+            if let Some(at) = slot {
+                // Nothing issues while the command bus is busy, and a
+                // stale candidate still needs a future tick to act on.
+                merge(
+                    &mut next,
+                    Some(at.max(now + 1).max(self.next_command_at[channel])),
+                );
+            }
+        }
+        next
+    }
+
     /// Reports the requests whose completion cycle has been reached.
     /// Removal is stable, so requests completing on the same cycle are
     /// reported in the order their commands were issued (FIFO) — the

@@ -315,6 +315,80 @@ impl Scheduler {
         }
     }
 
+    /// The earliest cycle at which any queued request of `channel` could
+    /// advance through one of the three scheduling passes: a column
+    /// command for a row hit, an ACT for a request to a precharged bank,
+    /// or a PRE for a conflicting request. Event-driven stepping uses
+    /// this as a wake-up candidate; it is conservative (a candidate may
+    /// arrive before anything actually issues — e.g. a PRE held back by
+    /// the still-wanted rule, or a defense veto — which costs an empty
+    /// tick, never correctness), and since the controller asks for both
+    /// queues every serving opportunity is covered regardless of drain
+    /// mode.
+    pub(crate) fn next_demand_event(
+        &self,
+        kind: AccessType,
+        channel: usize,
+        dram: &DramDevice,
+    ) -> Option<Cycle> {
+        let cmd = match kind {
+            AccessType::Read => MemCommand::Read,
+            AccessType::Write => MemCommand::Write,
+        };
+        let mut best: Option<Cycle> = None;
+        let mut merge = |candidate: Option<Cycle>| {
+            if let Some(at) = candidate {
+                best = Some(best.map_or(at, |b| b.min(at)));
+            }
+        };
+        match self.queue(kind) {
+            QueueRepr::Linear(q) => {
+                for request in q {
+                    let addr = &request.dram_addr;
+                    if addr.channel() != channel {
+                        continue;
+                    }
+                    merge(match dram.open_row(addr) {
+                        Some(open) if open == addr.row() => dram.earliest_issue(cmd, addr),
+                        Some(_) => dram.earliest_issue(MemCommand::Precharge, addr),
+                        None => dram.earliest_issue(MemCommand::Activate, addr),
+                    });
+                }
+            }
+            QueueRepr::Banked(q) => {
+                for bank in self.channel_banks(channel) {
+                    let bucket = q.bucket(bank);
+                    let Some(front) = bucket.front() else {
+                        continue;
+                    };
+                    match self.open_rows.get(bank) {
+                        None => {
+                            // ACT legality is bank-level, one probe covers
+                            // every request of the bucket.
+                            merge(dram.earliest_issue(MemCommand::Activate, &front.dram_addr));
+                        }
+                        Some(open) => {
+                            // Likewise, one column probe covers every
+                            // same-row request and one PRE probe every
+                            // conflicting one.
+                            if let Some(hit) = bucket.iter().find(|r| r.dram_addr.row() == open) {
+                                merge(dram.earliest_issue(cmd, &hit.dram_addr));
+                            }
+                            if let Some(conflict) =
+                                bucket.iter().find(|r| r.dram_addr.row() != open)
+                            {
+                                merge(
+                                    dram.earliest_issue(MemCommand::Precharge, &conflict.dram_addr),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
     /// Pass 3: the oldest request of `channel` conflicting with its bank's
     /// open row, provided no queued request (of either queue) still wants
     /// that open row and the PRE is legal at `now`. Returns the conflicting

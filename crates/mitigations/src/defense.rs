@@ -209,6 +209,18 @@ pub trait RowHammerDefense: AsAny + Send {
         let _ = now;
     }
 
+    /// The next cycle after `now` at which the defense's externally
+    /// visible behaviour can change *without* any intervening controller
+    /// activity (e.g. a counter-swap epoch boundary). Event-driven
+    /// stepping guarantees a [`RowHammerDefense::tick`] at or before the
+    /// returned cycle, so per-boundary work is never batched across a
+    /// time jump. `None` (the default) means the defense only changes
+    /// state in response to the hooks the controller already drives.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let _ = now;
+        None
+    }
+
     /// Maximum number of in-flight requests `thread` may have to
     /// `global_bank`, or `None` for no limit.
     fn inflight_quota(&self, thread: ThreadId, global_bank: usize) -> Option<u32> {

@@ -44,7 +44,7 @@ mod defense_factory;
 mod system;
 
 pub use defense_factory::DefenseKind;
-pub use metrics::{ChannelStats, MultiProgramMetrics, RunResult, ThreadResult};
+pub use metrics::{ChannelStats, MultiProgramMetrics, RunResult, SteppingStats, ThreadResult};
 pub use pool::WorkerPool;
 pub use subsystem::{MemorySubsystem, SteppingMode};
-pub use system::{BoxedTrace, System, SystemBuilder, SystemConfig};
+pub use system::{AdvanceMode, BoxedTrace, System, SystemBuilder, SystemConfig};

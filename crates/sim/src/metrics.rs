@@ -10,7 +10,7 @@ use mitigations::DefenseStats;
 use serde::{Deserialize, Serialize};
 
 /// Per-thread outcome of a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThreadResult {
     /// Hardware-thread index.
     pub thread: usize,
@@ -32,6 +32,39 @@ pub struct ThreadResult {
     pub memory_requests: u64,
 }
 
+/// Idle-skip accounting of a run's advance loop (how event-driven
+/// stepping earned its speedup).
+///
+/// These counters depend on the advance mode — lockstep simulates every
+/// cycle, event-driven skips provably no-op ones — so equivalence
+/// comparisons must ignore them, and the campaign's summary CSV/JSON
+/// never include them (they are reported through a separate stepping
+/// report instead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteppingStats {
+    /// Cycles actually ticked (advance-loop iterations).
+    pub cycles_simulated: u64,
+    /// Cycles skipped by event jumps (`total_cycles` minus ticked ones).
+    pub cycles_skipped: u64,
+    /// Ticks that delivered at least one memory completion or ready LLC
+    /// hit to a core.
+    pub events_processed: u64,
+    /// Largest single jump of the simulated clock, in cycles.
+    pub largest_jump: u64,
+}
+
+impl SteppingStats {
+    /// Fraction of the run's cycles that were skipped (0 under lockstep).
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.cycles_simulated + self.cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / total as f64
+        }
+    }
+}
+
 /// End-of-run statistics of one memory-channel shard (its controller,
 /// DRAM device and defense instance).
 ///
@@ -40,7 +73,7 @@ pub struct ThreadResult {
 /// balance and per-channel defense behaviour. Activation logs are moved
 /// into the merged [`RunResult::dram`] during aggregation, so the
 /// per-channel `dram.activation_log` is always `None`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChannelStats {
     /// Channel index.
     pub channel: usize,
@@ -56,7 +89,11 @@ pub struct ChannelStats {
 }
 
 /// Complete outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality is field-for-field (hash-map-backed statistics compare
+/// order-independently), which is what the advance-mode and stepping-mode
+/// equivalence tests pin bit-identity with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Defense name.
     pub defense: String,
@@ -82,6 +119,9 @@ pub struct RunResult {
     pub energy: EnergyBreakdown,
     /// Defense statistics.
     pub defense_stats: DefenseStats,
+    /// Idle-skip accounting of the advance loop. The only field that
+    /// differs between advance modes; every other field is bit-identical.
+    pub stepping: SteppingStats,
 }
 
 impl RunResult {
@@ -217,6 +257,7 @@ mod tests {
                 ..EnergyBreakdown::default()
             },
             defense_stats: DefenseStats::default(),
+            stepping: SteppingStats::default(),
         }
     }
 

@@ -55,6 +55,22 @@ pub enum SteppingMode {
     WorkerPool,
 }
 
+impl SteppingMode {
+    /// The stepping mode best suited to this machine for a system with
+    /// `channels` memory shards: the persistent worker pool when there is
+    /// more than one shard *and* [`std::thread::available_parallelism`]
+    /// reports more than one hardware thread, sequential otherwise. All
+    /// modes are bit-identical, so auto-selection never changes results.
+    pub fn auto(channels: usize) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if channels > 1 && threads > 1 {
+            SteppingMode::WorkerPool
+        } else {
+            SteppingMode::Sequential
+        }
+    }
+}
+
 /// One memory channel: its controller (with DRAM device inside) and the
 /// defense instance that protects it.
 struct ChannelShard {
@@ -357,6 +373,20 @@ impl MemorySubsystem {
             completed.extend(done.into_iter().map(|d| (channel, d)));
         }
         completed
+    }
+
+    /// The earliest cycle after `now` at which any shard's `tick` could
+    /// do observable work (see `MemoryController::next_event`), or `None`
+    /// when every shard is fully idle. Used by event-driven stepping to
+    /// skip provably no-op cycles.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.shards
+            .iter()
+            .filter_map(|slot| {
+                let shard = slot.as_ref().expect("shard is being stepped");
+                shard.ctrl.next_event(now, shard.defense.as_ref())
+            })
+            .min()
     }
 
     /// The largest RowHammer likelihood index any shard's defense reports

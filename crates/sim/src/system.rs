@@ -2,7 +2,7 @@
 //! memory subsystem (one controller + DRAM device + defense per channel).
 
 use crate::defense_factory::DefenseKind;
-use crate::metrics::{RunResult, ThreadResult};
+use crate::metrics::{RunResult, SteppingStats, ThreadResult};
 use crate::subsystem::{merge_channel_stats, MemorySubsystem, ShardReqId, SteppingMode};
 use bh_types::{AccessType, Cycle, ThreadId, TraceRecord};
 use cpu::{Core, CoreConfig, MemorySink};
@@ -16,6 +16,24 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A boxed trace iterator, the form in which workloads are fed to cores.
 pub type BoxedTrace = Box<dyn Iterator<Item = TraceRecord>>;
+
+/// How the simulated clock advances between ticks.
+///
+/// Both modes produce bit-identical results (pinned by
+/// `tests/tests/event_equivalence.rs`): event-driven stepping only skips
+/// cycles on which provably nothing observable can happen — every core is
+/// stalled on memory, every queue is empty or not yet ready, and every
+/// memory shard reports its next state change further out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdvanceMode {
+    /// Tick every cycle (`now + 1`), the reference behaviour.
+    #[default]
+    Lockstep,
+    /// Skip to the earliest cycle at which any component can do
+    /// observable work (cores, LLC hit queue, retry queues, memory
+    /// shards, defense epoch boundaries).
+    EventDriven,
+}
 
 /// Static configuration of a simulated system.
 #[derive(Debug, Clone)]
@@ -47,6 +65,9 @@ pub struct SystemConfig {
     /// per-cycle thread coordination for concurrent shard work, which pays
     /// off for channel-heavy configurations.
     pub stepping: SteppingMode,
+    /// How the simulated clock advances between ticks (lockstep or
+    /// event-driven skip-to-next-event). Bit-identical either way.
+    pub advance: AdvanceMode,
     /// Seed for workload generators and probabilistic defenses.
     pub seed: u64,
 }
@@ -63,6 +84,7 @@ impl Default for SystemConfig {
             min_cycles: 0,
             enable_activation_log: false,
             stepping: SteppingMode::Sequential,
+            advance: AdvanceMode::default(),
             seed: 1,
         }
     }
@@ -292,7 +314,11 @@ impl System {
         self.uncore.mem.defense_mut(channel)
     }
 
-    fn tick(&mut self, now: Cycle) {
+    /// Steps every component one cycle. Returns whether the tick delivered
+    /// at least one memory completion or ready LLC hit to a core (the
+    /// "events processed" of [`SteppingStats`]).
+    fn tick(&mut self, now: Cycle) -> bool {
+        let mut delivered = false;
         let uncore = &mut self.uncore;
         // 1. Memory subsystem: every channel shard issues commands in
         //    lockstep; collect the completions of all shards.
@@ -315,10 +341,12 @@ impl System {
                 if let Some(waiters) = uncore.line_waiters.remove(&line) {
                     for (core_index, token) in waiters {
                         self.cores[core_index].on_memory_complete(token);
+                        delivered = true;
                     }
                 }
             } else if let Some((core_index, token)) = uncore.direct_waiters.remove(&req_id) {
                 self.cores[core_index].on_memory_complete(token);
+                delivered = true;
             }
         }
         // 2. LLC hits that became ready.
@@ -328,6 +356,7 @@ impl System {
             }
             uncore.hit_queue.pop_front();
             self.cores[core_index].on_memory_complete(token);
+            delivered = true;
         }
         // 3. Retry pending line fetches and writebacks, per channel, in
         //    batches (one amortized admission pass per channel per cycle
@@ -350,6 +379,62 @@ impl System {
             let mut sink = CoreSink { uncore, core_index };
             core.tick(now, &mut sink);
         }
+        delivered
+    }
+
+    /// The next cycle to tick under [`AdvanceMode::EventDriven`]: the
+    /// minimum over every component's earliest possible state change,
+    /// clamped to `(now, max_cycles]`.
+    ///
+    /// Skipping is conservative — a cycle is skipped only when *no* core
+    /// wants to tick (each could neither retire, issue, nor refill), the
+    /// per-channel retry queues are empty (a queued fetch/writeback is
+    /// re-offered to its controller every cycle), no queued LLC hit is
+    /// ready, and every memory shard reports its next event further out.
+    /// Any component for which "could it act this cycle?" cannot be
+    /// answered cheaply votes `now + 1`, which degrades to lockstep for
+    /// that cycle rather than risking a divergence.
+    fn next_tick_at(&self, now: Cycle, all_done: bool) -> Cycle {
+        // Every candidate below is >= now + 1, so as soon as any
+        // component votes "next cycle" the answer is now + 1 — return
+        // without scanning the (comparatively expensive) memory shards.
+        // This keeps the event-driven overhead near zero on saturated
+        // runs where almost every cycle has core work.
+        if self.cores.iter().any(|core| core.wants_tick()) {
+            return now + 1;
+        }
+        // Queued fetches/writebacks retry admission every cycle, and even
+        // a refused retry mutates controller admission statistics.
+        if self
+            .uncore
+            .fetch_queues
+            .iter()
+            .any(|queue| !queue.is_empty())
+            || self
+                .uncore
+                .writeback_queues
+                .iter()
+                .any(|queue| !queue.is_empty())
+        {
+            return now + 1;
+        }
+        // With every thread finished the run only pads out to
+        // `min_cycles` (refresh keeps the DRAM stats moving in the
+        // meantime); otherwise the safety bound caps the jump.
+        let mut next = if all_done {
+            self.config.min_cycles
+        } else {
+            self.config.max_cycles
+        };
+        // The hit queue is ordered by push time and the latency is
+        // constant, so the front entry is the earliest one.
+        if let Some(&(ready, _, _)) = self.uncore.hit_queue.front() {
+            next = next.min(ready);
+        }
+        if let Some(at) = self.uncore.mem.next_event(now) {
+            next = next.min(at);
+        }
+        next.clamp(now + 1, self.config.max_cycles)
     }
 
     /// Runs the system to completion (every non-attacker thread reaches its
@@ -363,10 +448,14 @@ impl System {
     /// instances for post-run inspection (e.g. mechanism-specific counters
     /// reachable by downcasting through [`mitigations::AsAny`]).
     pub fn run_into_parts(mut self) -> (RunResult, Vec<Box<dyn RowHammerDefense>>) {
+        let event_driven = self.config.advance == AdvanceMode::EventDriven;
+        let mut stepping = SteppingStats::default();
         let mut now: Cycle = 0;
         let mut finish_cycle: Vec<Option<Cycle>> = vec![None; self.cores.len()];
         loop {
-            self.tick(now);
+            let delivered = self.tick(now);
+            stepping.cycles_simulated += 1;
+            stepping.events_processed += u64::from(delivered);
             let mut all_done = true;
             for (index, core) in self.cores.iter().enumerate() {
                 if core.is_finished() {
@@ -378,7 +467,14 @@ impl System {
             if (all_done && now >= self.config.min_cycles) || now >= self.config.max_cycles {
                 break;
             }
-            now += 1;
+            let next = if event_driven {
+                self.next_tick_at(now, all_done)
+            } else {
+                now + 1
+            };
+            stepping.largest_jump = stepping.largest_jump.max(next - now);
+            stepping.cycles_skipped += next - now - 1;
+            now = next;
         }
         let end = now.max(1);
         let threads = self
@@ -422,6 +518,7 @@ impl System {
             llc_misses: self.uncore.llc.stats().misses,
             energy,
             defense_stats,
+            stepping,
         };
         (result, self.uncore.mem.into_defenses())
     }
@@ -439,6 +536,10 @@ pub struct SystemBuilder {
     /// Pre-built trace threads (name, trace, is_attacker, instruction
     /// limit), appended after the synthetic workloads in thread order.
     trace_threads: Vec<(String, BoxedTrace, bool, u64)>,
+    /// Explicit shard stepping mode, if the caller chose one; `None`
+    /// auto-selects from the channel count and the machine's available
+    /// parallelism when the system is built.
+    stepping_override: Option<SteppingMode>,
 }
 
 impl Default for SystemBuilder {
@@ -458,6 +559,7 @@ impl SystemBuilder {
             workloads: Vec::new(),
             attacker: None,
             trace_threads: Vec::new(),
+            stepping_override: None,
         }
     }
 
@@ -501,20 +603,33 @@ impl SystemBuilder {
     /// worker pool) instead of sequentially. Bit-identical results either
     /// way; worthwhile only when the per-shard work outweighs the
     /// per-cycle thread coordination (many channels under heavy traffic).
+    /// Without this (or [`SystemBuilder::stepping_mode`]) the mode is
+    /// auto-selected via [`SteppingMode::auto`].
     pub fn parallel_channels(mut self, enabled: bool) -> Self {
-        self.config.stepping = if enabled {
+        self.stepping_override = Some(if enabled {
             SteppingMode::WorkerPool
         } else {
             SteppingMode::Sequential
-        };
+        });
         self
     }
 
     /// Selects the shard stepping mode explicitly (sequential, per-cycle
-    /// scoped threads, or the persistent worker pool). All modes produce
-    /// bit-identical results.
+    /// scoped threads, or the persistent worker pool), overriding the
+    /// [`SteppingMode::auto`] default. All modes produce bit-identical
+    /// results.
     pub fn stepping_mode(mut self, stepping: SteppingMode) -> Self {
-        self.config.stepping = stepping;
+        self.stepping_override = Some(stepping);
+        self
+    }
+
+    /// Selects how the simulated clock advances: per-cycle lockstep or
+    /// event-driven skip-to-next-event. Both modes are bit-identical;
+    /// event-driven is faster whenever the system has idle cycles to skip
+    /// (low memory intensity, or padding out `min_cycles` after the
+    /// threads finish).
+    pub fn advance_mode(mut self, advance: AdvanceMode) -> Self {
+        self.config.advance = advance;
         self
     }
 
@@ -627,6 +742,9 @@ impl SystemBuilder {
             "add at least one workload or an attacker"
         );
         self.config.n_rh = self.effective_n_rh();
+        self.config.stepping = self
+            .stepping_override
+            .unwrap_or_else(|| SteppingMode::auto(self.config.memctrl.organization.channels));
         let thread_count = self.thread_count();
         let geometry = self.config.defense_geometry(thread_count);
         let defenses = self.defense.build_per_channel(
@@ -908,6 +1026,54 @@ mod tests {
                 assert_eq!(a.max_rhli, b.max_rhli);
             }
         }
+    }
+
+    #[test]
+    fn advance_modes_are_bit_identical() {
+        // Event-driven stepping must reproduce the lockstep run, bit for
+        // bit, while actually skipping cycles. (The cross-defense and
+        // multi-channel matrix lives in tests/tests/event_equivalence.rs.)
+        let run = |advance: AdvanceMode| {
+            quick_builder()
+                .min_cycles(40_000)
+                .advance_mode(advance)
+                .defense(DefenseKind::BlockHammer)
+                .add_attacker()
+                .add_workload(SyntheticSpec::low_intensity("l0", 0), 2_000)
+                .run()
+        };
+        let lockstep = run(AdvanceMode::Lockstep);
+        let event = run(AdvanceMode::EventDriven);
+        assert_eq!(lockstep.total_cycles, event.total_cycles);
+        assert_eq!(lockstep.dram.totals(), event.dram.totals());
+        assert_eq!(lockstep.ctrl, event.ctrl);
+        assert_eq!(lockstep.llc_hits, event.llc_hits);
+        assert_eq!(lockstep.llc_misses, event.llc_misses);
+        assert_eq!(
+            lockstep.defense_stats.observed_activations,
+            event.defense_stats.observed_activations
+        );
+        for (a, b) in lockstep.threads.iter().zip(&event.threads) {
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.memory_requests, b.memory_requests);
+            assert_eq!(a.max_rhli, b.max_rhli);
+        }
+        // Lockstep ticks every cycle; event-driven must have skipped some.
+        assert_eq!(lockstep.stepping.cycles_skipped, 0);
+        assert_eq!(
+            lockstep.stepping.cycles_simulated,
+            lockstep.total_cycles + 1
+        );
+        assert!(
+            event.stepping.cycles_skipped > 0,
+            "event-driven run skipped no cycles"
+        );
+        assert_eq!(
+            event.stepping.cycles_simulated + event.stepping.cycles_skipped,
+            event.total_cycles + 1
+        );
+        assert!(event.stepping.largest_jump > 1);
     }
 
     #[test]

@@ -33,10 +33,9 @@ fn fail(message: impl std::fmt::Display) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = CampaignSpec::quick(12);
-    let mut workers = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(2)
-        .max(2);
+    // At least 2 so the pooled phase actually exercises the worker pool;
+    // capped at 4 since the demo's runs are small.
+    let mut workers = campaign::default_workers().clamp(2, 4);
     let mut out_dir = PathBuf::from("target/campaign");
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -136,6 +135,12 @@ fn main() -> ExitCode {
         return fail(e);
     }
     if let Err(e) = std::fs::write(&json_path, sequential.summary.to_json()) {
+        return fail(e);
+    }
+    // Idle-skip accounting goes to its own file: the summary CSV/JSON are
+    // pinned byte-identical across advance modes, these counters are not.
+    let stepping_path = out_dir.join("stepping.csv");
+    if let Err(e) = std::fs::write(&stepping_path, sequential.stepping_csv()) {
         return fail(e);
     }
     let rows = match parse_summary_csv(&csv) {

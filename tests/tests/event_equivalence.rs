@@ -1,0 +1,208 @@
+//! Event-driven stepping equivalence pins: `AdvanceMode::EventDriven`
+//! must reproduce the lockstep reference **bit for bit** — every
+//! `RunResult` field except the mode-dependent idle-skip counters — for
+//! every defense, channel count and workload shape, and whole campaigns
+//! must emit byte-identical CSV/JSON in both modes.
+
+use campaign::{execute, CampaignSpec};
+use proptest::prelude::*;
+use sim::{AdvanceMode, DefenseKind, RunResult, SteppingStats, SystemBuilder};
+use workloads::SyntheticSpec;
+
+/// Every defense kind the factory can build.
+fn all_defenses() -> Vec<DefenseKind> {
+    let mut kinds = vec![DefenseKind::Baseline];
+    kinds.extend(DefenseKind::figure_4_and_5_set());
+    kinds.push(DefenseKind::BlockHammerObserve);
+    kinds
+}
+
+/// The comparable form of a run: the full `RunResult` with the
+/// advance-mode-dependent stepping counters zeroed (they are the *only*
+/// field allowed to differ between modes). `RunResult: PartialEq`
+/// compares every statistic field for field, with hash-map-backed stats
+/// compared order-independently.
+fn canonical(mut result: RunResult) -> RunResult {
+    result.stepping = SteppingStats::default();
+    result
+}
+
+fn quick_builder(seed: u64, channels: usize) -> SystemBuilder {
+    SystemBuilder::new()
+        .time_scale(8192)
+        .max_cycles(3_000_000)
+        .min_cycles(20_000)
+        .llc_capacity(1 << 20)
+        .seed(seed)
+        .channels(channels)
+}
+
+#[test]
+fn every_defense_and_channel_count_is_bit_identical() {
+    for defense in all_defenses() {
+        for channels in [1usize, 2, 4] {
+            let run = |advance: AdvanceMode| {
+                quick_builder(7, channels)
+                    .defense(defense)
+                    .advance_mode(advance)
+                    .add_attacker()
+                    .add_workload(SyntheticSpec::high_intensity("h0", 0), 1_500)
+                    .add_workload(SyntheticSpec::low_intensity("l1", 1), 1_500)
+                    .run()
+            };
+            let lockstep = run(AdvanceMode::Lockstep);
+            let event = run(AdvanceMode::EventDriven);
+            assert_eq!(
+                lockstep.stepping.cycles_simulated,
+                lockstep.total_cycles + 1,
+                "lockstep must tick every cycle"
+            );
+            assert_eq!(
+                event.stepping.cycles_simulated + event.stepping.cycles_skipped,
+                event.total_cycles + 1,
+                "skip accounting must cover the whole run"
+            );
+            assert_eq!(
+                canonical(lockstep),
+                canonical(event),
+                "{:?} x {channels}ch diverged between advance modes",
+                defense
+            );
+        }
+    }
+}
+
+#[test]
+fn benign_only_runs_are_bit_identical() {
+    // No attacker: the run ends when the benign threads finish and then
+    // pads out to `min_cycles` with an idle system — the padding is where
+    // event-driven stepping jumps refresh-to-refresh.
+    for defense in [DefenseKind::Baseline, DefenseKind::BlockHammer] {
+        let run = |advance: AdvanceMode| {
+            quick_builder(11, 1)
+                .defense(defense)
+                .advance_mode(advance)
+                .min_cycles(50_000)
+                .add_workload(SyntheticSpec::low_intensity("l0", 0), 1_000)
+                .run()
+        };
+        let lockstep = run(AdvanceMode::Lockstep);
+        let event = run(AdvanceMode::EventDriven);
+        assert_eq!(canonical(lockstep), canonical(event.clone()));
+        assert!(
+            event.stepping.cycles_skipped > 0,
+            "an idle-padded run must skip cycles"
+        );
+    }
+}
+
+#[test]
+fn idle_heavy_run_simulates_a_fraction_of_its_cycles() {
+    // The deterministic speedup proxy: on an idle-heavy run (short benign
+    // thread, long min_cycles padding) event-driven stepping must tick at
+    // most a fifth of the simulated cycles — the tick count is the
+    // wall-clock driver, so this pins the >=5x claim without timing.
+    let result = quick_builder(3, 1)
+        .defense(DefenseKind::BlockHammer)
+        .advance_mode(AdvanceMode::EventDriven)
+        .min_cycles(200_000)
+        .add_workload(SyntheticSpec::low_intensity("l0", 0), 1_000)
+        .run();
+    assert!(
+        result.stepping.cycles_simulated * 5 <= result.total_cycles,
+        "expected >=5x tick reduction, got {} ticks over {} cycles",
+        result.stepping.cycles_simulated,
+        result.total_cycles
+    );
+    assert!(result.stepping.largest_jump > 100);
+}
+
+#[test]
+fn campaign_csv_and_json_are_byte_identical_across_modes() {
+    // The CI smoke campaign shape, shrunk: both advance modes must
+    // produce the exact same summary artifacts, byte for byte, and the
+    // same per-run outcomes once the stepping counters are masked.
+    let campaign_with = |advance: AdvanceMode| {
+        let mut campaign = CampaignSpec::smoke();
+        campaign.name = "event-equivalence".to_owned();
+        campaign.mix_count = 1;
+        campaign.threads_per_mix = 2;
+        campaign.scale.benign_instructions = 800;
+        campaign.scale.min_cycles = 20_000;
+        campaign.scale.advance = advance;
+        campaign
+    };
+    let run = |advance: AdvanceMode| {
+        let campaign = campaign_with(advance);
+        execute(&campaign, campaign.expand(), 0).expect("campaign runs")
+    };
+    let lockstep = run(AdvanceMode::Lockstep);
+    let event = run(AdvanceMode::EventDriven);
+    assert_eq!(
+        lockstep.summary.to_csv(),
+        event.summary.to_csv(),
+        "summary CSV diverged between advance modes"
+    );
+    assert_eq!(
+        lockstep.summary.to_json(),
+        event.summary.to_json(),
+        "summary JSON diverged between advance modes"
+    );
+    let masked = |report: &campaign::CampaignReport| {
+        let mut outcomes = report.outcomes.clone();
+        for outcome in &mut outcomes {
+            outcome.stepping = SteppingStats::default();
+        }
+        outcomes
+    };
+    assert_eq!(masked(&lockstep), masked(&event));
+    // The stepping report is the one artifact that *should* differ.
+    assert_ne!(lockstep.stepping_csv(), event.stepping_csv());
+    assert!(event
+        .outcomes
+        .iter()
+        .any(|outcome| outcome.stepping.cycles_skipped > 0));
+}
+
+proptest! {
+    /// Randomized mixes x defenses x channel counts: event-driven and
+    /// lockstep runs must stay bit-identical for arbitrary seeds and
+    /// workload shapes, with and without an attacker. Full-system runs
+    /// are too slow for the shim's 128 cases, so a sampled gate keeps a
+    /// deterministic ~8-case subset.
+    #[test]
+    fn random_mixes_are_bit_identical(
+        gate in 0u32..16,
+        seed in 0u64..1_000_000,
+        defense_index in 0usize..9,
+        channel_exp in 0u32..3,
+        attacker_flag in 0u32..2,
+        intensity in 0usize..3,
+    ) {
+        prop_assume!(gate == 0);
+        let with_attacker = attacker_flag == 1;
+        let defense = all_defenses()[defense_index];
+        let channels = 1usize << channel_exp;
+        let workload = |name: &str, variant: u64| match intensity {
+            0 => SyntheticSpec::low_intensity(name, variant),
+            1 => SyntheticSpec::medium_intensity(name, variant),
+            _ => SyntheticSpec::high_intensity(name, variant),
+        };
+        let run = |advance: AdvanceMode| {
+            let mut builder = quick_builder(seed, channels)
+                .defense(defense)
+                .advance_mode(advance)
+                .min_cycles(10_000);
+            if with_attacker {
+                builder = builder.add_attacker();
+            }
+            builder
+                .add_workload(workload("w0", 0), 800)
+                .run()
+        };
+        prop_assert_eq!(
+            canonical(run(AdvanceMode::Lockstep)),
+            canonical(run(AdvanceMode::EventDriven))
+        );
+    }
+}
