@@ -99,11 +99,13 @@ impl CountingBloomFilter {
 
     /// The counter indices `row` maps to under the filter's current hash
     /// seeds, computed without heap allocation.
+    // lint: alloc-free
     pub fn index_set(&self, row: u64) -> IndexSet {
         self.hashes.index_set(row)
     }
 
     /// Inserts `row`, incrementing all of its counters (saturating).
+    // lint: alloc-free
     pub fn insert(&mut self, row: u64) {
         let set = self.hashes.index_set(row);
         self.insert_at(&set);
@@ -111,6 +113,7 @@ impl CountingBloomFilter {
 
     /// Inserts using a precomputed index set (must come from this filter's
     /// [`CountingBloomFilter::index_set`] under the current seeds).
+    // lint: alloc-free
     pub fn insert_at(&mut self, set: &IndexSet) {
         self.insertions += 1;
         let generation = self.generation;
@@ -130,6 +133,7 @@ impl CountingBloomFilter {
 
     /// Returns an upper bound on the number of times `row` was inserted
     /// since the last clear (the minimum of its counters).
+    // lint: alloc-free
     pub fn estimate(&self, row: u64) -> u32 {
         // Pure queries skip the IndexSet materialization and stream the
         // hash outputs straight into the min fold.
@@ -145,12 +149,14 @@ impl CountingBloomFilter {
                 }
             })
             .min()
+            // lint: allow(panic-freedom) -- validated filter geometry guarantees at least one hash function
             .expect("a filter has at least one hash function")
     }
 
     /// Estimates using a precomputed index set (must come from this
     /// filter's [`CountingBloomFilter::index_set`] under the current
     /// seeds).
+    // lint: alloc-free
     pub fn estimate_at(&self, set: &IndexSet) -> u32 {
         debug_assert!(!set.is_empty(), "an index set holds at least one index");
         let mut min = u32::MAX;
@@ -170,6 +176,7 @@ impl CountingBloomFilter {
     /// counter. (Exception: once every `u32::MAX` clears the stamp space
     /// wraps and the array is flushed eagerly so stale stamps can never
     /// alias the current generation.)
+    // lint: alloc-free
     pub fn clear(&mut self, reseed_value: u64) {
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
@@ -286,6 +293,7 @@ impl DualCountingBloomFilter {
     /// takes the ordinary clear-and-swap step; two or more missed epochs
     /// mean both filters end up cleared, so the final state (clear count,
     /// active filter, each filter's last reseed) is computed directly.
+    // lint: alloc-free
     pub fn advance_to(&mut self, now: Cycle) -> bool {
         if now < self.next_swap {
             return false;
@@ -334,6 +342,7 @@ impl DualCountingBloomFilter {
     }
 
     /// Inserts an activation of `row` at cycle `now` into both filters.
+    // lint: alloc-free
     pub fn insert(&mut self, now: Cycle, row: u64) {
         let _ = self.observe(now, row);
     }
@@ -345,6 +354,7 @@ impl DualCountingBloomFilter {
     /// set is computed exactly once and shared between the blacklist test
     /// and the insertion (the two filters hash independently, so there is
     /// one set per filter).
+    // lint: alloc-free
     pub fn observe(&mut self, now: Cycle, row: u64) -> bool {
         self.advance_to(now);
         let set_a = self.filter_a.index_set(row);
@@ -364,12 +374,14 @@ impl DualCountingBloomFilter {
 
     /// The active filter's estimate of `row`'s activation count in the
     /// current rolling window.
+    // lint: alloc-free
     pub fn estimate(&self, row: u64) -> u32 {
         self.active_filter().estimate(row)
     }
 
     /// Whether `row` is currently blacklisted (its estimated activation
     /// count reached `N_BL`).
+    // lint: alloc-free
     pub fn is_blacklisted(&self, row: u64) -> bool {
         self.estimate(row) >= self.blacklist_threshold
     }

@@ -106,6 +106,7 @@ impl H3HashFamily {
     }
 
     /// The `k` counter indices for `row`.
+    // lint: alloc-free
     pub fn indices(&self, row: u64) -> impl Iterator<Item = usize> + '_ {
         self.seeds
             .iter()
@@ -122,6 +123,7 @@ impl H3HashFamily {
     /// The `k` counter indices for `row` as a stack-allocated [`IndexSet`]
     /// — same values as [`H3HashFamily::indices`], computed without any
     /// heap allocation so the result can be shared across consumers.
+    // lint: alloc-free
     pub fn index_set(&self, row: u64) -> IndexSet {
         let mut set = IndexSet {
             indices: [0; MAX_HASH_FUNCTIONS],

@@ -107,6 +107,7 @@ impl HistoryBuffer {
 
     /// Drops entries older than the window relative to `now` (the hardware
     /// does this continuously by checking the head timestamp every cycle).
+    // lint: alloc-free
     pub fn expire(&mut self, now: Cycle) {
         while let Some(front) = self.entries.front() {
             if now.saturating_sub(front.issued_at) >= self.window {
@@ -118,6 +119,7 @@ impl HistoryBuffer {
     }
 
     /// Records an activation of `row_key` at `now`.
+    // lint: alloc-free
     pub fn record(&mut self, now: Cycle, row_key: u64) {
         self.expire(now);
         if self.entries.len() == self.capacity {
@@ -147,6 +149,7 @@ impl HistoryBuffer {
 
     /// Whether `row_key` was activated within the last `window` cycles
     /// (the "Recently Activated?" CAM lookup).
+    // lint: alloc-free
     pub fn recently_activated(&mut self, now: Cycle, row_key: u64) -> bool {
         self.expire(now);
         self.index.contains_key(&row_key)
@@ -154,6 +157,7 @@ impl HistoryBuffer {
 
     /// Cycle at which `row_key`'s most recent activation expires from the
     /// window, if it is currently present.
+    // lint: alloc-free
     pub fn expires_at(&mut self, now: Cycle, row_key: u64) -> Option<Cycle> {
         self.expire(now);
         self.index

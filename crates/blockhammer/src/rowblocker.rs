@@ -55,6 +55,7 @@ impl RowBlocker {
     pub fn new(config: BlockHammerConfig, geometry: DefenseGeometry, seed: u64) -> Self {
         config
             .validate()
+            // lint: allow(panic-freedom) -- documented constructor contract; BlockHammerConfig::validate is the fallible path
             .expect("invalid BlockHammer configuration");
         let filters: Vec<DualCountingBloomFilter> = (0..geometry.total_banks)
             .map(|bank| {
@@ -121,6 +122,7 @@ impl RowBlocker {
     ///
     /// All filters share one epoch schedule, so the common case (no
     /// boundary passed since the last call) is a single comparison.
+    // lint: alloc-free
     pub fn advance_epochs(&mut self, now: Cycle) -> bool {
         if now < self.next_epoch_at {
             return false;
@@ -138,6 +140,7 @@ impl RowBlocker {
     }
 
     /// Whether `addr`'s row is currently blacklisted in its bank.
+    // lint: alloc-free
     pub fn is_blacklisted(&self, addr: &DramAddress) -> bool {
         self.filters[self.bank_index(addr)].is_blacklisted(addr.row())
     }
@@ -146,6 +149,7 @@ impl RowBlocker {
     ///
     /// Returns `true` if the activation may be issued now, `false` if the
     /// scheduler must delay it.
+    // lint: alloc-free
     pub fn is_activation_safe(&mut self, now: Cycle, addr: &DramAddress) -> bool {
         self.advance_epochs(now);
         let blacklisted = self.is_blacklisted(addr);
@@ -165,6 +169,7 @@ impl RowBlocker {
     /// Records an issued activation (steps 8 and 9 in Figure 2). Returns
     /// whether the activated row was blacklisted, which is the event
     /// AttackThrottler counts towards RHLI.
+    // lint: alloc-free
     pub fn on_activation(&mut self, now: Cycle, addr: &DramAddress) -> bool {
         self.advance_epochs(now);
         self.stats.observed_activations += 1;
@@ -182,6 +187,7 @@ impl RowBlocker {
     }
 
     /// The filter's current activation-count estimate for `addr`'s row.
+    // lint: alloc-free
     pub fn estimate(&self, addr: &DramAddress) -> u32 {
         self.filters[self.bank_index(addr)].estimate(addr.row())
     }

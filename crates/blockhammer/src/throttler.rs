@@ -68,6 +68,7 @@ impl AttackThrottler {
 
     /// Records that `thread` activated a blacklisted row in `bank`.
     /// Both the active and the passive counter are incremented (saturating).
+    // lint: alloc-free
     pub fn record_blacklisted_activation(&mut self, thread: ThreadId, bank: usize) {
         let t = thread.index();
         if t >= self.threads || bank >= self.banks {
@@ -83,12 +84,14 @@ impl AttackThrottler {
 
     /// Swaps the active and passive counters and clears the new passive
     /// set. Called when RowBlocker's filters swap (every epoch).
+    // lint: alloc-free
     pub fn swap_and_clear(&mut self) {
         std::mem::swap(&mut self.active, &mut self.passive);
         self.passive.fill(0);
     }
 
     /// The RowHammer likelihood index of `<thread, bank>` (Eq. 2).
+    // lint: alloc-free
     pub fn rhli(&self, thread: ThreadId, bank: usize) -> f64 {
         let t = thread.index();
         if t >= self.threads || bank >= self.banks {
@@ -99,6 +102,7 @@ impl AttackThrottler {
 
     /// The largest RHLI of `thread` across all banks (used for reporting
     /// and for OS exposure, Section 3.2.3).
+    // lint: alloc-free
     pub fn max_rhli(&self, thread: ThreadId) -> f64 {
         let t = thread.index();
         if t >= self.threads {
@@ -117,6 +121,7 @@ impl AttackThrottler {
     /// The in-flight request quota for `<thread, bank>`: `None` (unlimited)
     /// while RHLI is zero, scaled down proportionally to `1 - RHLI`
     /// otherwise, reaching zero (a full block) when RHLI >= 1.
+    // lint: alloc-free
     pub fn quota(&self, thread: ThreadId, bank: usize) -> Option<u32> {
         let rhli = self.rhli(thread, bank);
         if rhli <= 0.0 {

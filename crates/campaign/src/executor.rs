@@ -164,6 +164,7 @@ pub fn execute(
     mut runs: Vec<RunSpec>,
     workers: usize,
 ) -> Result<CampaignReport, CampaignError> {
+    // lint: allow(determinism) -- wall-clock duration is report metadata, never simulated state
     let started = Instant::now();
     if campaign.normalize {
         let table = alone_ipc_table(campaign, &runs);
@@ -189,7 +190,9 @@ pub fn execute(
         while collected < total {
             // Keep every worker fed, at most one queued job ahead each.
             while dispatched < total && dispatched - collected < 2 * workers {
-                let run = queue.pop_front().expect("one queued spec per dispatch");
+                let Some(run) = queue.pop_front() else {
+                    break;
+                };
                 pool.dispatch(dispatched % workers, (), run);
                 dispatched += 1;
             }

@@ -238,7 +238,12 @@ pub fn run_spec(spec: &RunSpec) -> Result<RunOutcome, CampaignError> {
                     run: spec.name.clone(),
                     error,
                 })?,
-                None => materialized[slot].take().expect("one generator per slot"),
+                None => materialized[slot]
+                    .take()
+                    .ok_or_else(|| CampaignError::Spec {
+                        run: spec.name.clone(),
+                        message: format!("thread slot {slot} has no materialized generator"),
+                    })?,
             };
             builder = builder.add_trace(
                 thread.name.clone(),
@@ -346,7 +351,12 @@ pub fn record_run_traces(
         ));
         if !path.exists() {
             if is_attacker {
-                let period = attack_period(spec, slot);
+                let period = attack_period(spec, slot).ok_or_else(|| CampaignError::Spec {
+                    run: spec.name.clone(),
+                    message: format!(
+                        "thread slot {slot} is traced as an attacker but has no attack generator"
+                    ),
+                })?;
                 record_trace_file(&path, format, trace, period as u64)
                     .map_err(|e| traced(TraceError::Io(e)))?;
             } else {
@@ -367,10 +377,11 @@ pub fn record_run_traces(
 }
 
 /// The cyclic period of the attacker in thread slot `slot` of `spec`,
-/// derived from the same geometry the generator path uses.
-fn attack_period(spec: &RunSpec, slot: usize) -> usize {
+/// derived from the same geometry the generator path uses; `None` if the
+/// slot's generator is not an attack.
+fn attack_period(spec: &RunSpec, slot: usize) -> Option<usize> {
     let ThreadGenerator::Attack(kind) = &spec.threads[slot].generator else {
-        panic!("thread slot {slot} is not an attacker");
+        return None;
     };
     let mut config = MemCtrlConfig::default();
     config.organization.channels = spec.channels;
@@ -378,7 +389,7 @@ fn attack_period(spec: &RunSpec, slot: usize) -> usize {
         config.mapping,
         config.organization.geometry(),
     ));
-    generator.period()
+    Some(generator.period())
 }
 
 #[cfg(test)]
@@ -393,6 +404,20 @@ mod tests {
         campaign.scale.benign_instructions = 500;
         campaign.scale.min_cycles = 20_000;
         campaign.expand().remove(campaign.run_count() - 1)
+    }
+
+    #[test]
+    fn attack_period_is_none_for_benign_slots() {
+        let spec = tiny_spec();
+        let benign = spec
+            .threads
+            .iter()
+            .position(|t| !t.is_attacker)
+            .expect("smoke specs mix attackers with benign threads");
+        assert_eq!(attack_period(&spec, benign), None);
+        if let Some(attacker) = spec.threads.iter().position(|t| t.is_attacker) {
+            assert!(attack_period(&spec, attacker).is_some());
+        }
     }
 
     #[test]

@@ -378,7 +378,9 @@ fn parse_text_line(line: &str, line_number: u64) -> Result<TraceRecord, TraceErr
         message,
     };
     let mut tokens = line.split_whitespace();
-    let non_memory_token = tokens.next().expect("non-empty line has a first token");
+    let non_memory_token = tokens
+        .next()
+        .ok_or_else(|| err("empty trace line".to_owned()))?;
     let non_memory = non_memory_token.parse::<u32>().map_err(|_| {
         err(format!(
             "expected a non-memory instruction count, got `{non_memory_token}`"
@@ -565,6 +567,15 @@ mod tests {
             TraceRecord::uncached_load(3, u64::MAX),
             TraceRecord::uncached_store(u32::MAX, 0),
         ]
+    }
+
+    #[test]
+    fn empty_text_line_is_a_parse_error_not_a_panic() {
+        let result = parse_text_line("", 7);
+        match result {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 7),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
     }
 
     fn round_trip(format: TraceFormat) -> Vec<TraceRecord> {

@@ -34,6 +34,7 @@ impl DramDevice {
     ///
     /// Panics if the organization fails validation (zero-sized dimension).
     pub fn new(organization: DramOrganization, timings: TimingsInCycles) -> Self {
+        // lint: allow(panic-freedom) -- documented constructor contract; DramOrganization::validate is the fallible path
         organization.validate().expect("invalid DRAM organization");
         let total_ranks = organization.total_ranks();
         Self {

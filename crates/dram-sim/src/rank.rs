@@ -105,6 +105,7 @@ impl Rank {
                     earliest = earliest.max(when + rrd);
                 }
                 if self.recent_activations.len() == 4 {
+                    // lint: allow(panic-freedom) -- guarded by the length check on the previous line
                     let oldest = *self.recent_activations.front().expect("len checked");
                     earliest = earliest.max(oldest + t.t_faw);
                 }

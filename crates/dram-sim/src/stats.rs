@@ -146,6 +146,7 @@ impl DramStats {
             per_row.entry((bank, row)).or_default().push(cycle);
         }
         let mut worst = 0u64;
+        // lint: allow(determinism) -- max over per-row window counts is order-independent
         for times in per_row.values() {
             // Activation logs are appended in issue order, so they are sorted.
             let mut lo = 0usize;

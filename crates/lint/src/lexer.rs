@@ -1,0 +1,642 @@
+//! A comment- and string-aware scrubber for Rust source text.
+//!
+//! `bh-lint`'s rules are token-pattern checks, so the one piece of real
+//! lexing the tool needs is deciding what *is* code: the scrubber walks a
+//! file once and produces, per line,
+//!
+//! * the line's **code** with every comment removed and the contents of
+//!   every string/char literal blanked out (the quotes remain, so the
+//!   shape of the line survives but `"panic!"` inside a literal can never
+//!   match a rule), and
+//! * the text of the line's **line comments**, from which lint markers
+//!   (`// lint: allow(rule) -- why`, `// lint: alloc-free`) are parsed.
+//!
+//! The scrubber understands line comments, nested block comments, doc
+//! comments (stripped like any comment; markers are only recognized in
+//! plain `//` comments), string literals with escapes, raw strings with
+//! any number of `#`s, byte/raw-byte strings, char and byte-char
+//! literals, and distinguishes lifetimes (`'a`) from char literals.
+//!
+//! It never fails: any byte sequence produces *some* scrub (pinned by a
+//! property test), because a linter that panics on weird input is worse
+//! than one that mis-lexes it.
+
+use std::fmt;
+
+/// A lint marker parsed from a `// lint: ...` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Marker {
+    /// `// lint: allow(rule, ...) -- justification`: suppress the named
+    /// rules on the marker's target line. A missing or empty
+    /// justification is itself reported (rule `suppression`).
+    Allow {
+        /// The rule identifiers inside the parentheses.
+        rules: Vec<String>,
+        /// The text after `--`, if any.
+        justification: Option<String>,
+    },
+    /// `// lint: alloc-free`: the next block (typically the following
+    /// `fn` body) is an allocation-free region.
+    AllocFree,
+    /// A `lint:` comment that parses as neither of the above — reported
+    /// so a typo cannot silently disable checking.
+    Malformed(String),
+}
+
+/// One source line after scrubbing.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedLine {
+    /// The line's code: comments removed, literal contents blanked.
+    pub code: String,
+    /// Markers parsed from the line's plain `//` comments.
+    pub markers: Vec<Marker>,
+}
+
+/// A whole file after scrubbing, 0-indexed by line.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedFile {
+    /// The scrubbed lines, in order.
+    pub lines: Vec<ScrubbedLine>,
+}
+
+/// A contiguous region of lines with special lint semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// What the region means.
+    pub kind: RegionKind,
+    /// First line of the region (0-based, inclusive) — the line holding
+    /// the opening brace.
+    pub start: usize,
+    /// Last line of the region (0-based, inclusive). For an unterminated
+    /// region this is the file's last line.
+    pub end: usize,
+}
+
+/// The kinds of region the span model tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// `#[cfg(test)]` items and `mod tests` blocks: rules that only
+    /// govern product code do not apply here.
+    Test,
+    /// A `// lint: alloc-free` block: allocation is banned inside.
+    AllocFree,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionKind::Test => f.write_str("test"),
+            RegionKind::AllocFree => f.write_str("alloc-free"),
+        }
+    }
+}
+
+/// Lexer state while walking the raw text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside `// ...` until end of line. `doc` strips `///` and `//!`
+    /// (markers are only read from plain comments).
+    LineComment { doc: bool },
+    /// Inside `/* ... */`, tracking nesting depth.
+    BlockComment { depth: u32 },
+    /// Inside `"..."`.
+    Str,
+    /// Inside `r##"..."##` (or `br##"..."##`) with `hashes` `#`s.
+    RawStr { hashes: u32 },
+    /// Inside `'...'` (only entered for genuine char literals).
+    Char,
+}
+
+/// Scrubs `source`: strips comments, blanks literal contents, collects
+/// `lint:` markers per line. Total function — never panics, whatever the
+/// input (see the lexer property tests).
+pub fn scrub(source: &str) -> ScrubbedFile {
+    let mut lines = Vec::new();
+    let mut current = ScrubbedLine::default();
+    let mut comment_text = String::new();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match state {
+                State::LineComment { doc } => {
+                    if !doc {
+                        if let Some(marker) = parse_marker(&comment_text) {
+                            current.markers.push(marker);
+                        }
+                    }
+                    comment_text.clear();
+                    state = State::Code;
+                }
+                // Multi-line constructs keep their state across the break;
+                // block-comment text is not marker-eligible, string content
+                // stays blanked.
+                State::BlockComment { .. } | State::Str | State::RawStr { .. } | State::Char => {}
+                State::Code => {}
+            }
+            lines.push(std::mem::take(&mut current));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        let doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+                        state = State::LineComment { doc };
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment { depth: 1 };
+                        i += 2;
+                    }
+                    '"' => {
+                        current.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        // Consume the prefix (`r`, `b`, `br`, `rb`) and
+                        // hashes up to the opening quote.
+                        let mut j = i;
+                        while matches!(chars.get(j), Some('r') | Some('b')) {
+                            current.code.push(chars[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            current.code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            current.code.push('"');
+                            state = State::RawStr { hashes };
+                            i = j + 1;
+                        } else {
+                            // `r#ident` (raw identifier) or stray prefix —
+                            // already emitted, carry on as code.
+                            i = j;
+                        }
+                    }
+                    'b' if next == Some('"') => {
+                        current.code.push('b');
+                        current.code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    }
+                    'b' if next == Some('\'') => {
+                        current.code.push('b');
+                        current.code.push('\'');
+                        state = State::Char;
+                        i += 2;
+                    }
+                    '\'' => {
+                        if is_char_literal_start(&chars, i) {
+                            current.code.push('\'');
+                            state = State::Char;
+                        } else {
+                            // A lifetime: keep it as code.
+                            current.code.push('\'');
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        current.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment { .. } => {
+                comment_text.push(c);
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth > 1 {
+                        State::BlockComment { depth: depth - 1 }
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (covers \" and \\) — unless it
+                    // is a line continuation (`\` at end of line), whose
+                    // newline must still advance the line counter.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    current.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    current.code.push('"');
+                    for _ in 0..hashes {
+                        current.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    // As in `Str`: never swallow a newline with the escape.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '\'' {
+                    current.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Flush the final (unterminated) line and any trailing line comment.
+    if let State::LineComment { doc: false } = state {
+        if let Some(marker) = parse_marker(&comment_text) {
+            current.markers.push(marker);
+        }
+    }
+    lines.push(current);
+    ScrubbedFile { lines }
+}
+
+/// Whether position `i` (pointing at `r` or `b`) starts a raw string:
+/// one of `r"`, `r#`, `br"`, `br#`, `rb` is not valid Rust but treated
+/// leniently. Raw identifiers (`r#match`) are excluded by requiring the
+/// hashes (if any) to be followed by a quote.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    // Accept at most one `b` and one `r`, in either order, to keep the
+    // scanner total; real Rust only has `r`, `br`.
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    // `r"..."` or `r#..#"..."`; `r#ident` has hashes but no quote.
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `'` at `i` starts a char literal rather than a lifetime:
+/// `'\...'`, `'x'`, but not `'a` in `&'a str` or `'static`.
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) => {
+            if c == '\'' {
+                // `''` — malformed, treat as literal so we resync at the
+                // closing quote.
+                true
+            } else {
+                chars.get(i + 2) == Some(&'\'')
+            }
+        }
+        None => false,
+    }
+}
+
+/// Whether the `"` at `i` closes a raw string with `hashes` `#`s (i.e. is
+/// followed by exactly that many hashes).
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Parses one plain line comment's text into a marker, if it is one.
+/// Returns `None` for ordinary comments; malformed `lint:` directives
+/// become [`Marker::Malformed`] so they are reported, not ignored.
+fn parse_marker(comment: &str) -> Option<Marker> {
+    let text = comment.trim();
+    let directive = text.strip_prefix("lint:")?.trim();
+    if directive == "alloc-free" {
+        return Some(Marker::AllocFree);
+    }
+    if let Some(rest) = directive.strip_prefix("allow") {
+        let rest = rest.trim_start();
+        if let Some(rest) = rest.strip_prefix('(') {
+            if let Some(close) = rest.find(')') {
+                let rules: Vec<String> = rest[..close]
+                    .split(',')
+                    .map(|r| r.trim().to_owned())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                let tail = rest[close + 1..].trim();
+                let justification = tail
+                    .strip_prefix("--")
+                    .map(|j| j.trim().to_owned())
+                    .filter(|j| !j.is_empty());
+                if !rules.is_empty() {
+                    return Some(Marker::Allow {
+                        rules,
+                        justification,
+                    });
+                }
+            }
+        }
+    }
+    Some(Marker::Malformed(text.to_owned()))
+}
+
+/// Computes the file's test and alloc-free regions from its scrubbed
+/// lines, by brace matching.
+///
+/// A region trigger — `#[cfg(test)]` (including `cfg(all(test, ...))`),
+/// `mod tests`, or a [`Marker::AllocFree`] — arms the *next* `{` at or
+/// below the trigger's brace depth; the region spans to the matching
+/// `}`. A `;` at the trigger's depth before any `{` disarms it (e.g.
+/// `#[cfg(test)] use ...;`). Unterminated regions extend to the end of
+/// the file, so a truncated file fails closed (its tail is still
+/// linted as whatever region was open — conservative for alloc-free,
+/// lenient for test; both are heuristics a human reviews).
+pub fn regions(file: &ScrubbedFile) -> Vec<Region> {
+    #[derive(Debug)]
+    struct Open {
+        kind: RegionKind,
+        start: usize,
+        depth: u32,
+    }
+    let mut finished = Vec::new();
+    let mut open: Vec<Open> = Vec::new();
+    let mut armed: Vec<(RegionKind, u32)> = Vec::new();
+    let mut depth: u32 = 0;
+    for (line_no, line) in file.lines.iter().enumerate() {
+        if line.markers.contains(&Marker::AllocFree) {
+            armed.push((RegionKind::AllocFree, depth));
+        }
+        let code = line.code.as_str();
+        if code.contains("cfg(test") || code.contains("cfg(all(test") {
+            armed.push((RegionKind::Test, depth));
+        }
+        if is_test_mod_line(code) {
+            armed.push((RegionKind::Test, depth));
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    // Every trigger armed at this depth opens here; a
+                    // `#[cfg(test)] mod tests {` line arms Test twice, so
+                    // open at most one region per kind.
+                    let mut opened: Vec<RegionKind> = Vec::new();
+                    armed.retain(|&(kind, d)| {
+                        if d == depth {
+                            if !opened.contains(&kind) {
+                                opened.push(kind);
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    for kind in opened {
+                        open.push(Open {
+                            kind,
+                            start: line_no,
+                            depth,
+                        });
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while let Some(pos) = open.iter().rposition(|o| o.depth == depth) {
+                        let o = open.remove(pos);
+                        finished.push(Region {
+                            kind: o.kind,
+                            start: o.start,
+                            end: line_no,
+                        });
+                    }
+                    // Triggers armed deeper than the block that just
+                    // closed can never legally fire; drop them.
+                    armed.retain(|&(_, d)| d <= depth);
+                }
+                ';' => {
+                    // An item ended without a block: disarm triggers armed
+                    // at this depth.
+                    armed.retain(|&(_, d)| d != depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    let last = file.lines.len().saturating_sub(1);
+    for o in open {
+        finished.push(Region {
+            kind: o.kind,
+            start: o.start,
+            end: last,
+        });
+    }
+    finished.sort_by_key(|r| (r.start, r.end));
+    finished
+}
+
+/// Whether a scrubbed line declares a `tests` module (`mod tests {`,
+/// `pub(crate) mod tests`, ...), the conventional unit-test container.
+fn is_test_mod_line(code: &str) -> bool {
+    let mut tokens = code.split_whitespace().peekable();
+    while let Some(token) = tokens.next() {
+        if token == "mod" {
+            if let Some(next) = tokens.peek() {
+                let name = next.trim_end_matches('{').trim_end_matches(';');
+                return name == "tests";
+            }
+        }
+    }
+    false
+}
+
+/// Whether `line` (0-based) lies inside any region of `kind`.
+pub fn in_region(regions: &[Region], kind: RegionKind, line: usize) -> bool {
+    regions
+        .iter()
+        .any(|r| r.kind == kind && r.start <= line && line <= r.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_lines(source: &str) -> Vec<String> {
+        scrub(source).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers_aligned() {
+        // A `\` at end of line inside a string escapes the newline for
+        // the compiler, but the scrubber must still count the line —
+        // every later finding would otherwise be off by one.
+        let lines = code_lines("let s = \"a,\\\n b\";\nlet t = 1;\n");
+        assert_eq!(lines.len(), 4, "three lines plus the trailing flush");
+        assert_eq!(lines[2], "let t = 1;");
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_literals_blanked() {
+        let lines = code_lines("let x = 1; // trailing\nlet s = \"panic!()\";\n");
+        assert_eq!(lines[0], "let x = 1; ");
+        assert_eq!(lines[1], "let s = \"\";");
+    }
+
+    #[test]
+    fn nested_block_comments_are_stripped() {
+        let lines = code_lines("a /* one /* two */ still comment */ b\n");
+        assert_eq!(lines[0], "a  b");
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let lines = code_lines("before /* x\n .unwrap() \n*/ after\n");
+        assert_eq!(lines[0], "before ");
+        assert_eq!(lines[1], "");
+        assert_eq!(lines[2], " after");
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let lines = code_lines("let s = r#\"has \"quotes\" and panic!\"#;\n");
+        assert_eq!(lines[0], "let s = r#\"\"#;");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lines = code_lines("let s = \"a\\\"b.unwrap()\"; let t = 1;\n");
+        assert_eq!(lines[0], "let s = \"\"; let t = 1;");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = code_lines("fn f<'a>(x: &'a str) -> &'static str { x }\n");
+        assert_eq!(lines[0], "fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lines = code_lines("let c = 'x'; let nl = '\\n'; // done\n");
+        assert_eq!(lines[0], "let c = ''; let nl = ''; ");
+    }
+
+    #[test]
+    fn allow_markers_parse_with_justification() {
+        let file = scrub("foo(); // lint: allow(panic-freedom) -- invariant: pool is live\n");
+        assert_eq!(
+            file.lines[0].markers,
+            vec![Marker::Allow {
+                rules: vec!["panic-freedom".to_owned()],
+                justification: Some("invariant: pool is live".to_owned()),
+            }]
+        );
+    }
+
+    #[test]
+    fn allow_without_justification_has_none() {
+        let file = scrub("// lint: allow(determinism)\n");
+        assert_eq!(
+            file.lines[0].markers,
+            vec![Marker::Allow {
+                rules: vec!["determinism".to_owned()],
+                justification: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn markers_inside_strings_are_not_markers() {
+        let file = scrub("let s = \"// lint: allow(x) -- nope\";\n");
+        assert!(file.lines[0].markers.is_empty());
+    }
+
+    #[test]
+    fn markers_inside_doc_comments_are_ignored() {
+        let file = scrub("/// lint: allow(determinism) -- doc text\nfn f() {}\n");
+        assert!(file.lines[0].markers.is_empty());
+    }
+
+    #[test]
+    fn malformed_lint_directives_are_flagged() {
+        let file = scrub("// lint: alow(determinism) -- typo\n");
+        assert!(matches!(file.lines[0].markers[0], Marker::Malformed(_)));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_mod_block() {
+        let src = "fn product() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let file = scrub(src);
+        let regions = regions(&file);
+        assert_eq!(regions.len(), 1);
+        let r = regions[0];
+        assert_eq!(r.kind, RegionKind::Test);
+        assert_eq!((r.start, r.end), (2, 4));
+        assert!(!in_region(&regions, RegionKind::Test, 0));
+        assert!(in_region(&regions, RegionKind::Test, 3));
+        assert!(!in_region(&regions, RegionKind::Test, 5));
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_statement_is_disarmed() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { body(); }\n";
+        let file = scrub(src);
+        let regions = regions(&file);
+        assert!(
+            regions.is_empty(),
+            "a braceless cfg(test) item must not capture the next block: {regions:?}"
+        );
+    }
+
+    #[test]
+    fn alloc_free_marker_covers_the_next_fn() {
+        let src =
+            "// lint: alloc-free\nfn hot(&mut self) {\n    work();\n}\nfn cold() { Vec::new(); }\n";
+        let file = scrub(src);
+        let regions = regions(&file);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].kind, RegionKind::AllocFree);
+        assert_eq!((regions[0].start, regions[0].end), (1, 3));
+    }
+
+    #[test]
+    fn unterminated_region_fails_closed_to_eof() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n";
+        let file = scrub(src);
+        let regions = regions(&file);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].end, file.lines.len() - 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! The `bh-lint` command-line entry point.
+//!
+//! * `bh-lint` — walk the workspace's product crates and manifests,
+//!   print `file:line: rule — message` per finding, exit non-zero if
+//!   any.
+//! * `bh-lint --list-rules` — print the rule table (so CI logs are
+//!   self-describing) and exit 0.
+//! * `bh-lint --root <dir>` — lint an explicit workspace root instead
+//!   of discovering one above the current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("bh-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "bh-lint: workspace determinism & hot-path static analysis\n\n\
+                     USAGE: bh-lint [--root <dir>] [--list-rules]\n\n\
+                     Walks the product crates and every member manifest; exits\n\
+                     non-zero on any finding. Suppress a finding with\n\
+                     `// lint: allow(<rule>) -- <justification>` on (or directly\n\
+                     above) the offending line; mark allocation-free regions with\n\
+                     `// lint: alloc-free` before the function."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bh-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("bh-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match bh_lint::find_workspace_root(&cwd) {
+                Ok(root) => root,
+                Err(e) => {
+                    eprintln!("bh-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match bh_lint::run_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("bh-lint: clean ({} rules)", bh_lint::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("bh-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bh-lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_rules() {
+    println!("bh-lint rules:");
+    for rule in bh_lint::RULES {
+        println!("\n  {:<18} {}", rule.id, rule.summary);
+        // Wrap the detail text to keep CI logs readable.
+        let mut line = String::from("    ");
+        for word in rule.detail.split_whitespace() {
+            if line.len() + word.len() > 78 {
+                println!("{line}");
+                line = String::from("    ");
+            }
+            line.push_str(word);
+            line.push(' ');
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nSuppression grammar: `// lint: allow(<rule>[, <rule>...]) -- <justification>`\n\
+         on the offending line or alone on the line above. Alloc-free regions are\n\
+         opened with `// lint: alloc-free` before the function."
+    );
+}

@@ -1,0 +1,95 @@
+//! Property tests for the scrubber: totality on arbitrary input, and
+//! marker text inside literals or block comments never parsing as a
+//! marker.
+
+use bh_lint::lexer::{scrub, Marker};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Marker-shaped payloads to smuggle into places markers must not be
+/// read from.
+const PAYLOADS: &[&str] = &[
+    "lint: allow(determinism) -- smuggled",
+    "lint: alloc-free",
+    "lint: allow(panic-freedom, hygiene) -- two rules",
+    "lint: allow()",
+];
+
+fn all_markers(source: &str) -> Vec<Marker> {
+    scrub(source)
+        .lines
+        .into_iter()
+        .flat_map(|line| line.markers)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn scrub_is_total_on_arbitrary_bytes(bytes in collection::vec(0u32..256, 0..240)) {
+        // Lossy-decode random bytes: exercises broken UTF-8 boundaries,
+        // stray quotes, half-open comments — scrub must always return.
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let source = String::from_utf8_lossy(&raw);
+        let file = scrub(&source);
+        prop_assert_eq!(file.lines.len(), source.split('\n').count());
+    }
+
+    #[test]
+    fn scrub_is_total_on_code_shaped_text(
+        pieces in collection::vec(0u32..12, 0..60),
+    ) {
+        // Random concatenations of lexer-relevant fragments: every state
+        // transition gets hit, including unterminated constructs at EOF.
+        const FRAGMENTS: &[&str] = &[
+            "\"", "'", "\\", "//", "/*", "*/", "r#\"", "\n", "b'x'",
+            "lint: allow(x) -- y", "fn f() {", "}",
+        ];
+        let source: String = pieces
+            .iter()
+            .map(|&i| FRAGMENTS[i as usize % FRAGMENTS.len()])
+            .collect();
+        let file = scrub(&source);
+        prop_assert_eq!(file.lines.len(), source.split('\n').count());
+    }
+
+    #[test]
+    fn markers_inside_string_literals_are_never_detected(
+        which in 0u32..4,
+        prefix in 0u32..3,
+    ) {
+        let payload = PAYLOADS[which as usize];
+        // `// lint: ...` inside a plain, raw, or byte string literal is
+        // data, not a directive.
+        let source = match prefix {
+            0 => format!("let s = \"// {payload}\";\n"),
+            1 => format!("let s = r#\"// {payload}\"#;\n"),
+            _ => format!("let s = b\"// {payload}\";\n"),
+        };
+        prop_assert!(all_markers(&source).is_empty(), "leaked from {source}");
+    }
+
+    #[test]
+    fn markers_inside_block_comments_are_never_detected(
+        which in 0u32..4,
+        depth in 1u32..4,
+    ) {
+        let payload = PAYLOADS[which as usize];
+        // `lint:` text anywhere inside a (nested) block comment is not a
+        // directive — markers are only read from plain `//` comments.
+        let open = "/*".repeat(depth as usize);
+        let close = "*/".repeat(depth as usize);
+        let source = format!("let x = 1; {open} // {payload}\n {payload} {close} let y = 2;\n");
+        prop_assert!(all_markers(&source).is_empty(), "leaked from {source}");
+        // The code on both sides of the comment survives the scrub.
+        let file = scrub(&source);
+        prop_assert!(file.lines[0].code.contains("let x = 1;"));
+        prop_assert!(file.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn doc_comments_never_yield_markers(which in 0u32..4) {
+        let payload = PAYLOADS[which as usize];
+        let source = format!("/// {payload}\n//! {payload}\nfn f() {{}}\n");
+        prop_assert!(all_markers(&source).is_empty());
+    }
+}

@@ -176,6 +176,7 @@ impl Llc {
     ///
     /// Panics if the configuration is invalid (see [`LlcConfig::validate`]).
     pub fn new(config: LlcConfig) -> Self {
+        // lint: allow(panic-freedom) -- documented constructor contract; LlcConfig::validate is the fallible path
         config.validate().expect("invalid LLC configuration");
         Self {
             sets: vec![Vec::with_capacity(config.associativity); config.sets() as usize],
@@ -291,6 +292,7 @@ impl Llc {
             .enumerate()
             .min_by_key(|(_, l)| l.lru)
             .map(|(i, _)| i)
+            // lint: allow(panic-freedom) -- validated associativity >= 1 means every set is non-empty
             .expect("set is non-empty");
         let victim = set[victim_idx];
         set[victim_idx] = Line {

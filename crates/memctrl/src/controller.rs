@@ -98,6 +98,7 @@ impl MemoryController {
     /// Panics if the configuration is invalid; use
     /// [`MemCtrlConfig::validate`] to check it fallibly first.
     pub fn new(config: MemCtrlConfig) -> Self {
+        // lint: allow(panic-freedom) -- documented constructor contract; MemCtrlConfig::validate is the fallible path
         config.validate().expect("invalid memory controller config");
         let timings = config.timings.into_cycles(&config.clock);
         let dram = DramDevice::new(config.organization, timings);
@@ -106,6 +107,7 @@ impl MemoryController {
         let scheduler = Scheduler::new(
             config.scheduler,
             config.organization.total_banks(),
+            config.organization.banks_per_rank(),
             config.organization.banks_per_channel(),
             config.read_queue_capacity,
             config.write_queue_capacity,
@@ -272,6 +274,7 @@ impl MemoryController {
             Some(id) => Ok(id),
             None => Err(outcome
                 .rejection
+                // lint: allow(panic-freedom) -- admission invariant: a request that was not accepted always carries a rejection
                 .expect("a request that was not accepted was rejected")),
         }
     }

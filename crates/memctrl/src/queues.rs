@@ -63,6 +63,7 @@ impl BankedQueue {
     pub(crate) fn remove(&mut self, bank: usize, pos: usize) -> MemRequest {
         let request = self.buckets[bank]
             .remove(pos)
+            // lint: allow(panic-freedom) -- documented pub(crate) contract: positions come from peeking the same bucket
             .expect("bucket position out of range");
         self.len -= 1;
         request
@@ -82,14 +83,21 @@ impl BankedQueue {
 #[derive(Debug, Clone)]
 pub(crate) struct OpenRowCache {
     rows: Vec<Option<u64>>,
+    /// Banks per rank: rank-wide commands (PREA) clear one contiguous
+    /// slice of `rows`.
+    banks_per_rank: usize,
 }
 
 impl OpenRowCache {
     /// Creates a cache with every bank precharged (the device's reset
-    /// state).
-    pub(crate) fn new(banks: usize) -> Self {
+    /// state). `banks_per_rank` defines the rank-aligned slices a
+    /// rank-wide precharge closes; it must divide `banks` (callers pass
+    /// geometry from a validated `DramOrganization`).
+    pub(crate) fn new(banks: usize, banks_per_rank: usize) -> Self {
+        debug_assert!(banks_per_rank > 0 && banks % banks_per_rank == 0);
         Self {
             rows: vec![None; banks],
+            banks_per_rank: banks_per_rank.max(1),
         }
     }
 
@@ -99,13 +107,7 @@ impl OpenRowCache {
     }
 
     /// Records the effect of an issued command on `bank`'s row buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics on [`MemCommand::PrechargeAll`]: it closes every bank of a
-    /// *rank*, which a per-bank note cannot represent exactly, and the
-    /// controller never issues it. The panic enforces the exactness
-    /// contract instead of silently desynchronizing the other banks.
+    /// Rank-wide commands use `bank` only to identify the rank.
     pub(crate) fn note_issue(&mut self, cmd: MemCommand, bank: usize, row: u64) {
         match cmd {
             MemCommand::Activate => self.rows[bank] = Some(row),
@@ -118,8 +120,13 @@ impl OpenRowCache {
             // only legal with every bank of the rank already precharged,
             // so it cannot change any cached entry either.
             MemCommand::Read | MemCommand::Write | MemCommand::Refresh => {}
+            // PREA closes every bank of the addressed rank: clear that
+            // rank's whole slice so the mirror stays exact.
             MemCommand::PrechargeAll => {
-                panic!("PrechargeAll closes a whole rank and is not modelled per bank")
+                let start = (bank / self.banks_per_rank) * self.banks_per_rank;
+                for slot in &mut self.rows[start..start + self.banks_per_rank] {
+                    *slot = None;
+                }
             }
         }
     }
@@ -159,7 +166,7 @@ mod tests {
 
     #[test]
     fn open_row_cache_tracks_activate_and_precharge() {
-        let mut cache = OpenRowCache::new(2);
+        let mut cache = OpenRowCache::new(2, 2);
         assert_eq!(cache.get(0), None);
         cache.note_issue(MemCommand::Activate, 0, 42);
         assert_eq!(cache.get(0), Some(42));
@@ -174,9 +181,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "PrechargeAll")]
-    fn open_row_cache_rejects_rank_wide_precharge() {
-        let mut cache = OpenRowCache::new(2);
-        cache.note_issue(MemCommand::PrechargeAll, 0, 0);
+    fn open_row_cache_rank_wide_precharge_closes_only_that_rank() {
+        // 4 banks, 2 per rank: PREA on rank 1 must close banks 2..4 and
+        // leave rank 0 untouched.
+        let mut cache = OpenRowCache::new(4, 2);
+        cache.note_issue(MemCommand::Activate, 0, 11);
+        cache.note_issue(MemCommand::Activate, 2, 22);
+        cache.note_issue(MemCommand::Activate, 3, 33);
+        cache.note_issue(MemCommand::PrechargeAll, 3, 0);
+        assert_eq!(cache.get(0), Some(11), "other rank keeps its open row");
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(3), None);
     }
 }

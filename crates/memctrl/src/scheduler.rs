@@ -89,12 +89,16 @@ pub(crate) struct Scheduler {
     write: QueueRepr,
     open_rows: OpenRowCache,
     banks_per_channel: usize,
+    /// Scratch cursor list for `pick_activation`'s banked merge, kept
+    /// across calls so the per-cycle pass never allocates.
+    act_cursors: Vec<(usize, usize)>,
 }
 
 impl Scheduler {
     pub(crate) fn new(
         policy: SchedulerPolicy,
         total_banks: usize,
+        banks_per_rank: usize,
         banks_per_channel: usize,
         read_capacity: usize,
         write_capacity: usize,
@@ -106,8 +110,9 @@ impl Scheduler {
         Self {
             read: make(read_capacity),
             write: make(write_capacity),
-            open_rows: OpenRowCache::new(total_banks),
+            open_rows: OpenRowCache::new(total_banks, banks_per_rank),
             banks_per_channel,
+            act_cursors: Vec::new(),
         }
     }
 
@@ -137,6 +142,7 @@ impl Scheduler {
 
     /// Admits a request into its queue; `bank` is the request's global bank
     /// index.
+    // lint: alloc-free
     pub(crate) fn push(&mut self, kind: AccessType, bank: usize, request: MemRequest) {
         match self.queue_mut(kind) {
             QueueRepr::Linear(q) => q.push(request),
@@ -146,6 +152,7 @@ impl Scheduler {
 
     /// Records the row-buffer effect of a command the controller issued on
     /// `bank` (keeps the open-row cache exact).
+    // lint: alloc-free
     pub(crate) fn note_issue(&mut self, cmd: MemCommand, bank: usize, row: u64) {
         self.open_rows.note_issue(cmd, bank, row);
     }
@@ -165,6 +172,7 @@ impl Scheduler {
 
     /// Pass 1: removes and returns the oldest row-buffer hit of `channel`
     /// whose column command is legal at `now`.
+    // lint: alloc-free
     pub(crate) fn take_row_hit(
         &mut self,
         kind: AccessType,
@@ -185,6 +193,7 @@ impl Scheduler {
                         && dram.can_issue(cmd, addr, now)
                 })?;
                 let QueueRepr::Linear(q) = self.queue_mut(kind) else {
+                    // lint: allow(panic-freedom) -- queue representation is chosen once at construction and never changes
                     unreachable!("queue representation is fixed at construction");
                 };
                 Some(q.remove(i))
@@ -217,6 +226,7 @@ impl Scheduler {
                 }
                 let (_, bank, pos) = best?;
                 let QueueRepr::Banked(q) = self.queue_mut(kind) else {
+                    // lint: allow(panic-freedom) -- queue representation is chosen once at construction and never changes
                     unreachable!("queue representation is fixed at construction");
                 };
                 Some(q.remove(bank, pos))
@@ -228,8 +238,9 @@ impl Scheduler {
     /// ACT is legal at `now` and which the defense does not veto. The
     /// request stays queued (it completes later as a row hit); `on_veto` is
     /// called for every request the defense skipped, in scan order.
+    // lint: alloc-free
     pub(crate) fn pick_activation(
-        &self,
+        &mut self,
         kind: AccessType,
         channel: usize,
         now: Cycle,
@@ -237,8 +248,13 @@ impl Scheduler {
         defense: &mut dyn RowHammerDefense,
         mut on_veto: impl FnMut(ReqId),
     ) -> Option<ActivationPick> {
-        match self.queue(kind) {
-            QueueRepr::Linear(q) => {
+        // The banked path's cursor list lives on the scheduler so this
+        // per-cycle pass never allocates (it reaches capacity — at most
+        // banks-per-channel entries — after the first few calls).
+        let mut cursors = std::mem::take(&mut self.act_cursors);
+        cursors.clear();
+        let result = match self.queue(kind) {
+            QueueRepr::Linear(q) => 'linear: {
                 for request in q {
                     let addr = &request.dram_addr;
                     if addr.channel() != channel
@@ -256,7 +272,7 @@ impl Scheduler {
                         on_veto(request.id);
                         continue;
                     }
-                    return Some(ActivationPick {
+                    break 'linear Some(ActivationPick {
                         thread: request.thread,
                         addr: *addr,
                         origin: request.origin,
@@ -268,7 +284,6 @@ impl Scheduler {
                 // Banks whose ACT is legal now; eligibility is a bank-level
                 // property (activation legality never depends on the row),
                 // so it is decided once per bank.
-                let mut cursors: Vec<(usize, usize)> = Vec::new();
                 for bank in self.channel_banks(channel) {
                     let Some(front) = q.bucket(bank).front() else {
                         continue;
@@ -291,7 +306,9 @@ impl Scheduler {
                             best = Some((cursor, id));
                         }
                     }
-                    let (cursor, _) = best?;
+                    let Some((cursor, _)) = best else {
+                        break None;
+                    };
                     let (bank, pos) = cursors[cursor];
                     let request = &q.bucket(bank)[pos];
                     if request.origin == RequestOrigin::Core
@@ -305,14 +322,17 @@ impl Scheduler {
                         }
                         continue;
                     }
-                    return Some(ActivationPick {
+                    break Some(ActivationPick {
                         thread: request.thread,
                         addr: request.dram_addr,
                         origin: request.origin,
                     });
                 }
             }
-        }
+        };
+        // Hand the buffer back for the next call.
+        self.act_cursors = cursors;
+        result
     }
 
     /// The earliest cycle at which any queued request of `channel` could
@@ -325,6 +345,7 @@ impl Scheduler {
     /// tick, never correctness), and since the controller asks for both
     /// queues every serving opportunity is covered regardless of drain
     /// mode.
+    // lint: alloc-free
     pub(crate) fn next_demand_event(
         &self,
         kind: AccessType,
@@ -393,6 +414,7 @@ impl Scheduler {
     /// open row, provided no queued request (of either queue) still wants
     /// that open row and the PRE is legal at `now`. Returns the conflicting
     /// request's address (the PRE target).
+    // lint: alloc-free
     pub(crate) fn pick_conflict_precharge(
         &self,
         kind: AccessType,
@@ -462,6 +484,7 @@ impl Scheduler {
                 }
                 best.map(|(_, addr)| addr)
             }
+            // lint: allow(panic-freedom) -- both queues share the representation chosen once at construction
             _ => unreachable!("both queues share one representation"),
         }
     }
@@ -483,7 +506,14 @@ mod tests {
 
     fn scheduler(policy: SchedulerPolicy) -> Scheduler {
         let org = DramOrganization::default();
-        Scheduler::new(policy, org.total_banks(), org.banks_per_channel(), 64, 64)
+        Scheduler::new(
+            policy,
+            org.total_banks(),
+            org.banks_per_rank(),
+            org.banks_per_channel(),
+            64,
+            64,
+        )
     }
 
     fn request(id: u64, bank_group: usize, bank: usize, row: u64) -> MemRequest {

@@ -81,9 +81,11 @@ impl CtrlStats {
         out.auto_refreshes += other.auto_refreshes;
         out.activations_delayed_by_defense += other.activations_delayed_by_defense;
         out.total_read_latency += other.total_read_latency;
+        // lint: allow(determinism) -- per-thread merge sums commute, so iteration order cannot affect totals
         for (&thread, &count) in &other.reads_per_thread {
             *out.reads_per_thread.entry(thread).or_insert(0) += count;
         }
+        // lint: allow(determinism) -- per-thread merge sums commute, so iteration order cannot affect totals
         for (&thread, &latency) in &other.read_latency_per_thread {
             *out.read_latency_per_thread.entry(thread).or_insert(0) += latency;
         }

@@ -120,6 +120,7 @@ impl RowHammerDefense for Cbt {
             .regions
             .iter()
             .position(|r| row >= r.start && row < r.start + r.len)
+            // lint: allow(panic-freedom) -- CBT invariant: the region list always partitions the bank's rows
             .expect("regions always cover the whole bank");
         tree.regions[idx].count += 1;
         let region = &tree.regions[idx];

@@ -11,18 +11,18 @@
 use crate::defense::{DefenseStats, MetadataFootprint, RowHammerDefense, RowHammerThreshold};
 use crate::geometry::DefenseGeometry;
 use bh_types::{Cycle, DramAddress, ThreadId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-bank Misra–Gries state.
 #[derive(Debug, Clone, Default)]
 struct BankTable {
     /// Tracked rows and their estimated activation counts.
-    counters: HashMap<u64, u64>,
+    counters: BTreeMap<u64, u64>,
     /// The spillover counter (lower bound for every untracked row).
     spillover: u64,
     /// Last multiple of the threshold at which each tracked row triggered a
     /// neighbour refresh.
-    refreshed_at: HashMap<u64, u64>,
+    refreshed_at: BTreeMap<u64, u64>,
 }
 
 /// The Graphene deterministic frequent-element mechanism.
@@ -123,7 +123,9 @@ impl RowHammerDefense for Graphene {
         {
             // Replace an entry whose count has fallen to the spillover
             // level: the new row inherits spillover + 1 as a safe upper
-            // bound on its true count.
+            // bound on its true count. The table is a BTreeMap, so this
+            // scan deterministically evicts the smallest such row id —
+            // victim choice must not depend on hash-iteration order.
             let _ = victim_count;
             bank.counters.remove(&victim_row);
             bank.refreshed_at.remove(&victim_row);
@@ -174,6 +176,7 @@ impl RowHammerDefense for Graphene {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn graphene(n_rh: u64) -> Graphene {
         Graphene::new(RowHammerThreshold::new(n_rh), DefenseGeometry::default())

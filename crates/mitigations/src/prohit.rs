@@ -87,6 +87,7 @@ impl ProHit {
             if promote {
                 t.cold.remove(pos);
                 if t.hot.len() == HOT_ENTRIES {
+                    // lint: allow(panic-freedom) -- guarded by the HOT_ENTRIES length check on the previous line
                     let demoted = t.hot.pop().expect("hot table is full");
                     if t.cold.len() == COLD_ENTRIES {
                         t.cold.pop();

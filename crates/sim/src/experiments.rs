@@ -11,7 +11,7 @@ use crate::system::SystemBuilder;
 use blockhammer::{BlockHammer, BlockHammerConfig};
 use mitigations::{AsAny, RowHammerThreshold};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use workloads::{benign_catalog, WorkloadCategory, WorkloadMix, WorkloadSpec};
 
 /// Knobs controlling how large an experiment run is.
@@ -117,7 +117,9 @@ pub fn figure4(scale: &ExperimentScale, paper_n_rh: u64) -> Vec<Figure4Row> {
     let representatives = category_representatives(scale);
     let mut rows = Vec::new();
     for kind in DefenseKind::figure_4_and_5_set() {
-        let mut per_category: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        // BTreeMap: category aggregation order (and thus row output order)
+        // must not depend on hash-iteration order.
+        let mut per_category: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
         for workload in &representatives {
             let baseline = scale
                 .builder()
@@ -378,6 +380,7 @@ pub fn false_positive_study(scale: &ExperimentScale, paper_n_rh: u64) -> FalsePo
             .defense_mut(channel)
             .as_any_mut()
             .downcast_mut::<BlockHammer>()
+            // lint: allow(panic-freedom) -- the false-positive study constructs its system with DefenseKind::BlockHammer
             .expect("the false-positive study runs under BlockHammer")
             .enable_false_positive_tracking();
     }

@@ -74,6 +74,7 @@ impl<C: Send + 'static, T: Send + 'static, R: Send + 'static> WorkerPool<C, T, R
                             }
                         }
                     })
+                    // lint: allow(panic-freedom) -- thread-spawn failure at pool construction is unrecoverable infrastructure loss
                     .expect("failed to spawn pool worker thread");
                 Worker {
                     job_tx: Some(job_tx),
@@ -99,8 +100,10 @@ impl<C: Send + 'static, T: Send + 'static, R: Send + 'static> WorkerPool<C, T, R
         self.workers[slot]
             .job_tx
             .as_ref()
+            // lint: allow(panic-freedom) -- pool liveness invariant: job channels stay open until drop
             .expect("pool is live")
             .send((ctx, item))
+            // lint: allow(panic-freedom) -- a dead worker already means a propagated panic; see propagate_worker_panic
             .expect("pool worker exited unexpectedly");
     }
 
@@ -139,6 +142,7 @@ fn propagate_worker_panic<C, T, R>(worker: &mut Worker<C, T, R>) -> ! {
             std::panic::resume_unwind(payload);
         }
     }
+    // lint: allow(panic-freedom) -- unreachable fallback: a worker that died without a result resumed its unwind above
     panic!("pool worker exited without delivering a result");
 }
 

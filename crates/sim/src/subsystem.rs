@@ -115,6 +115,7 @@ impl MemorySubsystem {
         defenses: Vec<Box<dyn RowHammerDefense>>,
         enable_activation_log: bool,
     ) -> Self {
+        // lint: allow(panic-freedom) -- documented constructor contract; MemCtrlConfig::validate is the fallible path
         config.validate().expect("invalid memory controller config");
         let channels = config.organization.channels;
         assert_eq!(
@@ -154,12 +155,14 @@ impl MemorySubsystem {
     fn shard(&self, channel: usize) -> &ChannelShard {
         self.shards[channel]
             .as_ref()
+            // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
             .expect("shard is being stepped")
     }
 
     fn shard_mut(&mut self, channel: usize) -> &mut ChannelShard {
         self.shards[channel]
             .as_mut()
+            // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
             .expect("shard is being stepped")
     }
 
@@ -250,6 +253,7 @@ impl MemorySubsystem {
         let geometry = self.geometry;
         let shard = self.shards[channel]
             .as_mut()
+            // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
             .expect("shard is being stepped");
         let outcome = shard.ctrl.enqueue_batch(
             queue.iter().map(|&(thread, phys)| {
@@ -285,6 +289,7 @@ impl MemorySubsystem {
     fn tick_sequential(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
         let mut completed = Vec::new();
         for slot in &mut self.shards {
+            // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
             let shard = slot.as_mut().expect("shard is being stepped");
             for done in shard.tick(now) {
                 completed.push((shard.channel, done));
@@ -294,17 +299,20 @@ impl MemorySubsystem {
     }
 
     fn tick_scoped(&mut self, now: Cycle) -> Vec<(usize, CompletedRequest)> {
+        // lint: allow(thread-discipline) -- ScopedThreads is the reference stepping mode the worker pool is validated against
         let per_shard: Vec<(usize, Vec<CompletedRequest>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
                 .map(|slot| {
+                    // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
                     let shard = slot.as_mut().expect("shard is being stepped");
                     scope.spawn(move || (shard.channel, shard.tick(now)))
                 })
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(panic-freedom) -- a panicking shard tick must propagate, mirroring the pooled path
                 .map(|handle| handle.join().expect("shard tick panicked"))
                 .collect()
         });
@@ -324,9 +332,11 @@ impl MemorySubsystem {
         // Hand shards 1..n to the workers, step shard 0 on this thread,
         // then collect everything back in channel order.
         for channel in 1..self.shards.len() {
+            // lint: allow(panic-freedom) -- every shard is home before tick_pooled starts handing them out
             let shard = self.shards[channel].take().expect("shard is present");
             self.pool
                 .as_ref()
+                // lint: allow(panic-freedom) -- the pool is created at the top of tick_pooled
                 .expect("pool was just created")
                 .dispatch(channel - 1, now, shard);
         }
@@ -342,6 +352,7 @@ impl MemorySubsystem {
         // whose own worker panicked is unavoidably lost with that
         // worker's unwind.)
         let shard0_done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // lint: allow(panic-freedom) -- shard 0 is stepped in place and never handed to a worker
             let shard0 = self.shards[0].as_mut().expect("shard 0 never leaves");
             shard0.tick(now)
         }));
@@ -349,6 +360,7 @@ impl MemorySubsystem {
         let mut worker_done = Vec::new();
         let mut worker_panic = None;
         for channel in 1..self.shards.len() {
+            // lint: allow(panic-freedom) -- the pool is created at the top of tick_pooled
             let pool = self.pool.as_mut().expect("pool was just created");
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 pool.collect(channel - 1)
@@ -383,6 +395,7 @@ impl MemorySubsystem {
         self.shards
             .iter()
             .filter_map(|slot| {
+                // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
                 let shard = slot.as_ref().expect("shard is being stepped");
                 shard.ctrl.next_event(now, shard.defense.as_ref())
             })
@@ -412,6 +425,7 @@ impl MemorySubsystem {
         self.shards
             .iter_mut()
             .map(|slot| {
+                // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
                 let shard = slot.as_mut().expect("shard is being stepped");
                 let (dram, ctrl) = shard.ctrl.finish(now);
                 ChannelStats {
@@ -430,6 +444,7 @@ impl MemorySubsystem {
     pub fn into_defenses(self) -> Vec<Box<dyn RowHammerDefense>> {
         self.shards
             .into_iter()
+            // lint: allow(panic-freedom) -- shards are only None while checked out to pool workers in tick_pooled
             .map(|slot| slot.expect("shard is being stepped").defense)
             .collect()
     }

@@ -150,6 +150,7 @@ impl Uncore {
     /// Whether a fetch of `line` is already queued or in flight on its
     /// channel (used to merge misses to the same line).
     fn line_fetch_pending(&self, channel: usize, line: u64) -> bool {
+        // lint: allow(determinism) -- values().any is an existence check, independent of iteration order
         self.line_fetch_reqs.values().any(|&l| l == line)
             || self.fetch_queues[channel].iter().any(|&(_, l)| l == line)
     }

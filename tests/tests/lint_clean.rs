@@ -1,0 +1,24 @@
+//! The workspace's own product tree must pass `bh-lint` — every
+//! determinism, hot-path and hygiene rule, with zero unjustified
+//! suppressions. A finding here means a change introduced (or stopped
+//! justifying) a forbidden pattern; run `cargo run -p bh-lint` locally
+//! for the same report.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = bh_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the integration-tests crate lives inside the workspace");
+    let findings = bh_lint::run_workspace(&root).expect("workspace tree is readable");
+    assert!(
+        findings.is_empty(),
+        "bh-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
