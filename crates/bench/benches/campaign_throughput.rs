@@ -6,9 +6,10 @@
 //! incremental aggregation). Divide 1e9 by the reported ns/iter and
 //! multiply by the run count for runs/sec.
 
-use campaign::{execute, CampaignSpec};
+use campaign::{execute, execute_resumable, CampaignSpec, ExecutionOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::path::PathBuf;
 
 /// A small 8-run campaign (2 mixes x 2 scenarios x 2 defenses) with a
 /// reduced instruction budget, shared by every variant so the comparison
@@ -28,6 +29,22 @@ fn run_campaign(workers: usize) -> usize {
     report.outcomes.len()
 }
 
+/// The same campaign with checkpoint journaling on — measures the cost
+/// of the append-and-flush per delivered run on top of `sequential`.
+fn run_journaled_campaign(journal: &PathBuf) -> usize {
+    // Each iteration starts from a fresh journal: resuming would skip
+    // the runs and measure nothing.
+    let _ = std::fs::remove_file(journal);
+    let spec = bench_campaign();
+    let options = ExecutionOptions {
+        journal: Some(journal.clone()),
+        ..Default::default()
+    };
+    let report = execute_resumable(&spec, spec.expand(), 0, &options).expect("bench campaign runs");
+    assert_eq!(report.outcomes.len(), spec.run_count());
+    report.outcomes.len()
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
@@ -39,6 +56,11 @@ fn bench_throughput(c: &mut Criterion) {
             b.iter(|| black_box(run_campaign(workers)))
         });
     }
+    let journal = std::env::temp_dir().join("bh-bench-campaign.journal");
+    group.bench_function("journaled_sequential_8_runs", |b| {
+        b.iter(|| black_box(run_journaled_campaign(&journal)))
+    });
+    let _ = std::fs::remove_file(&journal);
     group.finish();
 }
 

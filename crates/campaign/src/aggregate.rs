@@ -15,7 +15,7 @@
 //! campaign output renders in the same tables as the in-process
 //! experiment drivers.
 
-use crate::runner::RunOutcome;
+use crate::runner::{FailedRun, RunOutcome};
 use sim::experiments::MultiProgramRow;
 use sim::MultiProgramMetrics;
 
@@ -36,6 +36,7 @@ pub struct SweepKey {
 #[derive(Debug, Clone, Default)]
 struct SweepAccumulator {
     runs: usize,
+    failed: usize,
     metric_sums: Option<MultiProgramMetrics>,
     benign_ipc_sum: f64,
     cycles_sum: f64,
@@ -52,6 +53,11 @@ pub struct SweepPointSummary {
     pub key: SweepKey,
     /// Runs (mixes) aggregated into this point.
     pub runs: usize,
+    /// Runs of this point that were quarantined by the executor's
+    /// failure policy instead of completing. A non-zero count marks the
+    /// point *degraded*: its means cover fewer mixes than the campaign
+    /// planned, and its row should be read accordingly.
+    pub failed_runs: usize,
     /// Mean multiprogrammed metrics across the point's runs (present when
     /// the campaign ran with normalization).
     pub metrics: Option<MultiProgramMetrics>,
@@ -79,8 +85,18 @@ pub struct CampaignSummary {
     pub name: String,
     /// Total runs aggregated.
     pub runs: usize,
+    /// Total runs quarantined across every sweep point (0 for a fully
+    /// healthy campaign).
+    pub failed: usize,
     /// Sweep points, in first-absorbed order (= expansion order).
     pub points: Vec<SweepPointSummary>,
+}
+
+impl CampaignSummary {
+    /// Whether any sweep point is degraded by quarantined runs.
+    pub fn is_degraded(&self) -> bool {
+        self.failed > 0
+    }
 }
 
 /// Incrementally reduces [`RunOutcome`]s into a [`CampaignSummary`].
@@ -93,6 +109,7 @@ pub struct CampaignSummary {
 pub struct CampaignAggregator {
     name: String,
     runs: usize,
+    failed: usize,
     order: Vec<SweepKey>,
     accumulators: std::collections::HashMap<SweepKey, SweepAccumulator>,
 }
@@ -103,9 +120,27 @@ impl CampaignAggregator {
         Self {
             name: name.into(),
             runs: 0,
+            failed: 0,
             order: Vec::new(),
             accumulators: std::collections::HashMap::new(),
         }
+    }
+
+    /// Marks one quarantined run against its sweep point. The point's
+    /// means are untouched (a failed run contributes no numbers) but its
+    /// `failed_runs` count flags it as degraded in every serialization.
+    pub fn absorb_failure(&mut self, failure: &FailedRun) {
+        let key = SweepKey {
+            scenario: failure.scenario.clone(),
+            defense: failure.defense.clone(),
+            n_rh: failure.n_rh,
+            channels: failure.channels,
+        };
+        if !self.accumulators.contains_key(&key) {
+            self.order.push(key.clone());
+        }
+        self.accumulators.entry(key).or_default().failed += 1;
+        self.failed += 1;
     }
 
     /// Folds one run outcome into its sweep point.
@@ -155,6 +190,7 @@ impl CampaignAggregator {
                 SweepPointSummary {
                     key: key.clone(),
                     runs: acc.runs,
+                    failed_runs: acc.failed,
                     metrics: acc.metric_sums.as_ref().map(|sums| MultiProgramMetrics {
                         weighted_speedup: sums.weighted_speedup / n,
                         harmonic_speedup: sums.harmonic_speedup / n,
@@ -194,6 +230,7 @@ impl CampaignAggregator {
         CampaignSummary {
             name: self.name,
             runs: self.runs,
+            failed: self.failed,
             points,
         }
     }
@@ -203,10 +240,11 @@ impl CampaignAggregator {
 const CSV_HEADER: &str = "scenario,defense,n_rh,channels,runs,mean_benign_ipc,\
 max_attacker_rhli,max_benign_rhli,mean_cycles,mean_dram_energy_j,total_acts,\
 weighted_speedup,harmonic_speedup,max_slowdown,\
-norm_weighted_speedup,norm_harmonic_speedup,norm_max_slowdown,norm_dram_energy";
+norm_weighted_speedup,norm_harmonic_speedup,norm_max_slowdown,norm_dram_energy,\
+failed_runs";
 
 /// Number of columns in the summary CSV.
-const CSV_COLUMNS: usize = 18;
+const CSV_COLUMNS: usize = 19;
 
 fn push_f64(out: &mut String, value: f64) {
     out.push_str(&format!(",{value:.6}"));
@@ -257,6 +295,7 @@ impl CampaignSummary {
             // Raw metrics (energy is already a raw column above).
             push_optional_metrics(&mut out, &point.metrics, false);
             push_optional_metrics(&mut out, &point.normalized, true);
+            out.push_str(&format!(",{}", point.failed_runs));
             out.push('\n');
         }
         out
@@ -267,15 +306,17 @@ impl CampaignSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\n  \"campaign\": \"{}\",\n  \"runs\": {},\n  \"points\": [\n",
+            "{{\n  \"campaign\": \"{}\",\n  \"runs\": {},\n  \"failed_runs\": {},\n  \"points\": [\n",
             escape_json(&self.name),
-            self.runs
+            self.runs,
+            self.failed
         ));
         for (i, point) in self.points.iter().enumerate() {
             out.push_str("    {");
             out.push_str(&format!(
                 "\"scenario\": \"{}\", \"defense\": \"{}\", \"n_rh\": {}, \
-                 \"channels\": {}, \"runs\": {}, \"mean_benign_ipc\": {:.6}, \
+                 \"channels\": {}, \"runs\": {}, \"failed_runs\": {}, \
+                 \"mean_benign_ipc\": {:.6}, \
                  \"max_attacker_rhli\": {:.6}, \"max_benign_rhli\": {:.6}, \
                  \"mean_cycles\": {:.6}, \"mean_dram_energy_j\": {:.6}, \
                  \"total_acts\": {}",
@@ -284,6 +325,7 @@ impl CampaignSummary {
                 point.key.n_rh,
                 point.key.channels,
                 point.runs,
+                point.failed_runs,
                 point.mean_benign_ipc,
                 point.max_attacker_rhli,
                 point.max_benign_rhli,
@@ -337,7 +379,7 @@ impl CampaignSummary {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => vec!['\\', '"'],
@@ -355,6 +397,8 @@ pub struct SummaryCsvRow {
     pub key: SweepKey,
     /// Runs aggregated into the row.
     pub runs: usize,
+    /// Quarantined runs of the point (non-zero marks it degraded).
+    pub failed_runs: usize,
     /// Mean benign IPC of the point.
     pub mean_benign_ipc: f64,
     /// Normalized weighted speedup, when the campaign normalized.
@@ -409,7 +453,7 @@ pub fn parse_summary_csv(text: &str) -> Result<Vec<SummaryCsvRow>, String> {
             parse_f64(i)?;
         }
         parse_u64(10)?;
-        for i in 11..CSV_COLUMNS {
+        for i in 11..CSV_COLUMNS - 1 {
             parse_optional(i)?;
         }
         rows.push(SummaryCsvRow {
@@ -420,6 +464,7 @@ pub fn parse_summary_csv(text: &str) -> Result<Vec<SummaryCsvRow>, String> {
                 channels: parse_u64(3)? as usize,
             },
             runs: parse_u64(4)? as usize,
+            failed_runs: parse_u64(18)? as usize,
             mean_benign_ipc: parse_f64(5)?,
             norm_weighted_speedup: parse_optional(14)?,
         });
@@ -552,6 +597,60 @@ mod tests {
         csv.push_str("attack,Extra,1,1,notanumber\n");
         let err = parse_summary_csv(&csv).unwrap_err();
         assert!(err.contains("line 3"), "got: {err}");
+    }
+
+    #[test]
+    fn quarantined_runs_mark_their_point_degraded() {
+        let mut agg = CampaignAggregator::new("t");
+        agg.absorb(&outcome(0, "attack", "Baseline", 0.5, Some(metrics(2.0))));
+        agg.absorb(&outcome(1, "attack", "Para", 0.7, Some(metrics(3.0))));
+        agg.absorb_failure(&FailedRun {
+            index: 2,
+            name: "mix-002/Para".into(),
+            scenario: "attack".into(),
+            defense: "Para".into(),
+            n_rh: 32_768,
+            channels: 1,
+            attempts: 2,
+            cause: "panicked: injected".into(),
+        });
+        let summary = agg.finish();
+        assert!(summary.is_degraded());
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.runs, 2, "failures do not count as runs");
+        let para = summary
+            .points
+            .iter()
+            .find(|p| p.key.defense == "Para")
+            .expect("Para point");
+        assert_eq!((para.runs, para.failed_runs), (1, 1));
+        // The degraded flag survives both serializations and the parser.
+        let rows = parse_summary_csv(&summary.to_csv()).expect("parses");
+        let para_row = rows.iter().find(|r| r.key.defense == "Para").expect("row");
+        assert_eq!(para_row.failed_runs, 1);
+        assert_eq!(rows[0].failed_runs, 0);
+        assert!(summary.to_json().contains("\"failed_runs\": 1"));
+    }
+
+    #[test]
+    fn a_failure_alone_still_registers_its_sweep_point() {
+        let mut agg = CampaignAggregator::new("t");
+        agg.absorb_failure(&FailedRun {
+            index: 0,
+            name: "mix-000/Graphene".into(),
+            scenario: "attack".into(),
+            defense: "Graphene".into(),
+            n_rh: 32_768,
+            channels: 1,
+            attempts: 1,
+            cause: "panicked".into(),
+        });
+        let summary = agg.finish();
+        assert_eq!(summary.points.len(), 1);
+        assert_eq!(summary.points[0].runs, 0);
+        assert_eq!(summary.points[0].failed_runs, 1);
+        // Zero-run points serialize without dividing by zero.
+        assert!(parse_summary_csv(&summary.to_csv()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Atomic campaign artifact writes.
+//!
+//! Campaign outputs (summary CSV/JSON, stepping reports, failure
+//! manifests, recorded traces) are the things an operator trusts after a
+//! crash, so none of them may ever be observable half-written: a torn
+//! `campaign.csv` parses as a *short but valid* campaign and silently
+//! misreports the sweep. Every artifact therefore goes to a temporary
+//! sibling first and is renamed into place — on POSIX systems the rename
+//! is atomic, so any observer sees either the old file or the complete
+//! new one, never a prefix.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary sibling `path` is staged through before the atomic
+/// rename. Kept in the destination directory (renames across mount
+/// points are not atomic) and keyed by process id so concurrent writers
+/// of *different* campaigns in a shared directory do not trample each
+/// other's staging files.
+pub(crate) fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("artifact"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(format!(".tmp-{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling which is flushed and renamed over `path`, creating parent
+/// directories as needed. A process killed at any point leaves either
+/// the previous file intact or (at worst) a stray `*.tmp-<pid>` staging
+/// file — never a torn artifact under the real name.
+///
+/// # Errors
+///
+/// Propagates file-system errors; the staging file is removed on failure.
+pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let staging = staging_path(path);
+    let staged = std::fs::File::create(&staging)
+        .and_then(|mut file| {
+            file.write_all(contents.as_ref())?;
+            file.flush()
+        })
+        .and_then(|()| std::fs::rename(&staging, path));
+    if staged.is_err() {
+        let _ = std::fs::remove_file(&staging);
+    }
+    staged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bh-artifacts-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_and_overwrites_complete_contents() {
+        let path = scratch("atomic.txt");
+        write_atomic(&path, "first").expect("first write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "first");
+        write_atomic(&path, "second, longer contents").expect("second write");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "second, longer contents"
+        );
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let path = scratch("nested").join("deeper/atomic.txt");
+        write_atomic(&path, "x").expect("nested write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "x");
+    }
+
+    #[test]
+    fn leaves_no_staging_file_behind() {
+        let path = scratch("clean.txt");
+        write_atomic(&path, "y").expect("write");
+        assert!(!staging_path(&path).exists());
+    }
+
+    #[test]
+    fn staging_sibling_stays_in_the_destination_directory() {
+        let staging = staging_path(Path::new("a/b/c.csv"));
+        assert_eq!(staging.parent(), Some(Path::new("a/b")));
+        let name = staging.file_name().and_then(|n| n.to_str()).expect("name");
+        assert!(name.starts_with("c.csv.tmp-"), "got: {name}");
+    }
+}

@@ -19,21 +19,94 @@
 //!    which worker finishes first. Sequential and pooled execution of
 //!    the same campaign therefore emit byte-identical CSV/JSON (pinned
 //!    by `tests/tests/campaign_determinism.rs`).
+//!
+//! # Fault tolerance
+//!
+//! Every run executes behind an isolation boundary
+//! (`catch_unwind`): a panicking run becomes a structured failure
+//! instead of unwinding the campaign, and the configured
+//! [`FailurePolicy`] decides what happens next — abort the campaign
+//! with [`CampaignError::RunFailed`] (the default, today's behavior),
+//! quarantine the run into the report's failure manifest (the
+//! aggregator marks its sweep point degraded), or retry it up to a
+//! bounded number of attempts before quarantining. In the pooled path
+//! the executor keeps its own copy of every in-flight `RunSpec`, so
+//! even a worker *thread* death (possible only for faults that bypass
+//! the in-worker boundary) is survivable: the pool respawns the slot
+//! ([`sim::pool::WorkerPool::collect_recovered`]) and the executor
+//! resubmits the innocent jobs that died with it, preserving exact
+//! delivery order.
+//!
+//! With [`ExecutionOptions::journal`] set, [`execute_resumable`] appends
+//! each delivered result to an on-disk checkpoint journal
+//! ([`crate::checkpoint`]) before moving on, and — when the journal
+//! already holds finished runs for the *same* campaign — replays them
+//! and re-runs only the tail. Because replayed outcomes feed the
+//! aggregator in the same run order the original execution did, a
+//! killed-and-resumed campaign emits byte-identical CSV/JSON to an
+//! uninterrupted one (pinned by `tests/tests/kill_resume.rs`).
 
-use crate::aggregate::{CampaignAggregator, CampaignSummary};
-use crate::runner::{run_spec, CampaignError, RunOutcome};
+use crate::aggregate::{escape_json, CampaignAggregator, CampaignSummary};
+use crate::checkpoint::{self, JournalEntry, JournalError, JournalWriter};
+use crate::runner::{run_spec, CampaignError, FailedRun, RunOutcome};
 use crate::spec::{CampaignSpec, RunSpec, ThreadGenerator};
-use sim::pool::WorkerPool;
+use sim::pool::{Collected, WorkerPool};
 use sim::{DefenseKind, SystemBuilder};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use workloads::SyntheticSpec;
+
+/// What the executor does with a run that fails (panics inside the
+/// simulator or returns an error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stop the campaign at the first failing run, surfacing it as
+    /// [`CampaignError::RunFailed`]. Results delivered before the
+    /// failure stay journaled (when a journal is configured), so an
+    /// aborted campaign resumes past them.
+    #[default]
+    Abort,
+    /// Skip the failing run: record it in the failure manifest
+    /// ([`CampaignReport::failures`]), mark its sweep point degraded,
+    /// and continue with the rest of the campaign.
+    Quarantine,
+    /// Re-run a failing run up to `max_attempts` total attempts
+    /// (retries execute on the collecting thread, preserving delivery
+    /// order); a run still failing after the last attempt is
+    /// quarantined.
+    Retry {
+        /// Total attempts per run, counting the first (values 0 and 1
+        /// mean no retries — equivalent to `Quarantine`).
+        max_attempts: u32,
+    },
+}
+
+/// Knobs of [`execute_resumable`] beyond the worker count.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionOptions {
+    /// What to do with failing runs.
+    pub policy: FailurePolicy,
+    /// When set, every delivered result is appended to the checkpoint
+    /// journal at this path (created on first use), and execution
+    /// resumes after any runs the journal already holds.
+    pub journal: Option<PathBuf>,
+}
 
 /// Everything a finished campaign hands back.
 #[derive(Debug)]
 pub struct CampaignReport {
-    /// Per-run outcomes, in run order.
+    /// Per-run outcomes of completed runs, in run order (quarantined
+    /// runs are absent here and present in `failures`).
     pub outcomes: Vec<RunOutcome>,
+    /// Quarantined runs, in run order — the failure manifest
+    /// (serializable via [`CampaignReport::failures_csv`] /
+    /// [`CampaignReport::failures_json`]).
+    pub failures: Vec<FailedRun>,
+    /// How many of the delivered results were replayed from the
+    /// checkpoint journal instead of executed in this invocation.
+    pub replayed: usize,
     /// The aggregated summary (CSV/JSON-serializable).
     pub summary: CampaignSummary,
     /// Wall-clock duration of the whole execution (prelude + runs).
@@ -43,9 +116,62 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Executed runs per wall-clock second.
-    pub fn runs_per_sec(&self) -> f64 {
-        self.outcomes.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    /// Freshly executed runs (completed or quarantined) per wall-clock
+    /// second, or `None` when this invocation executed nothing — an
+    /// empty campaign, or a resume that found every run already
+    /// journaled. (Replayed results are excluded: reading a journal
+    /// record is not executing a run, and counting it would report a
+    /// fantasy rate.)
+    pub fn runs_per_sec(&self) -> Option<f64> {
+        let executed = (self.outcomes.len() + self.failures.len()).saturating_sub(self.replayed);
+        if executed == 0 {
+            return None;
+        }
+        Some(executed as f64 / self.wall.as_secs_f64().max(1e-9))
+    }
+
+    /// The failure manifest as CSV (one row per quarantined run, in run
+    /// order; the cause field is quoted since panic messages contain
+    /// commas).
+    pub fn failures_csv(&self) -> String {
+        let mut csv = String::from("index,name,scenario,defense,n_rh,channels,attempts,cause\n");
+        for f in &self.failures {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},\"{}\"\n",
+                f.index,
+                f.name,
+                f.scenario,
+                f.defense,
+                f.n_rh,
+                f.channels,
+                f.attempts,
+                f.cause.replace('"', "\"\"").replace('\n', " "),
+            ));
+        }
+        csv
+    }
+
+    /// The failure manifest as a JSON array document.
+    pub fn failures_json(&self) -> String {
+        let mut out = String::from("{\n  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"index\": {}, \"name\": \"{}\", \"scenario\": \"{}\", \
+                 \"defense\": \"{}\", \"n_rh\": {}, \"channels\": {}, \
+                 \"attempts\": {}, \"cause\": \"{}\"}}{}\n",
+                f.index,
+                escape_json(&f.name),
+                escape_json(&f.scenario),
+                escape_json(&f.defense),
+                f.n_rh,
+                f.channels,
+                f.attempts,
+                escape_json(&f.cause),
+                if i + 1 < self.failures.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Per-run idle-skip accounting as CSV (one row per run, in run
@@ -147,8 +273,183 @@ fn attach_alone_ipc(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Run isolation
+// ---------------------------------------------------------------------------
+
+/// How a single run attempt failed behind the isolation boundary.
+enum RunError {
+    /// The run returned a structured error.
+    Campaign(CampaignError),
+    /// The run panicked; the payload was converted to its message.
+    Panic(String),
+}
+
+impl RunError {
+    /// The failure as a one-line cause for manifests and journals.
+    fn cause(&self) -> String {
+        match self {
+            RunError::Campaign(error) => error.to_string(),
+            RunError::Panic(message) => format!("panicked: {message}"),
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Executes one run behind the isolation boundary: a panic anywhere in
+/// the simulator comes back as a [`RunError::Panic`] instead of
+/// unwinding the executor (or a pool worker).
+fn run_isolated(spec: &RunSpec) -> Result<RunOutcome, RunError> {
+    match catch_unwind(AssertUnwindSafe(|| run_spec(spec))) {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(error)) => Err(RunError::Campaign(error)),
+        Err(payload) => Err(RunError::Panic(panic_cause(payload))),
+    }
+}
+
+/// What one run ultimately delivered after the failure policy had its
+/// say.
+enum Delivery {
+    /// The run completed (possibly after retries).
+    Outcome(RunOutcome),
+    /// The run was quarantined.
+    Failure(FailedRun),
+}
+
+/// Applies the failure policy to a run's first-attempt result,
+/// performing any retries synchronously on the calling thread (the
+/// collector), so delivery order never depends on retry timing.
+fn resolve(
+    spec: &RunSpec,
+    first: Result<RunOutcome, RunError>,
+    policy: FailurePolicy,
+) -> Result<Delivery, CampaignError> {
+    let first_error = match first {
+        Ok(outcome) => return Ok(Delivery::Outcome(outcome)),
+        Err(error) => error,
+    };
+    match policy {
+        FailurePolicy::Abort => Err(match first_error {
+            RunError::Campaign(error) => error,
+            RunError::Panic(message) => CampaignError::RunFailed {
+                index: spec.index,
+                run: spec.name.clone(),
+                cause: format!("panicked: {message}"),
+            },
+        }),
+        FailurePolicy::Quarantine => Ok(Delivery::Failure(FailedRun::new(
+            spec,
+            1,
+            first_error.cause(),
+        ))),
+        FailurePolicy::Retry { max_attempts } => {
+            let mut attempts = 1u32;
+            let mut last_error = first_error;
+            while attempts < max_attempts {
+                attempts += 1;
+                match run_isolated(spec) {
+                    Ok(outcome) => return Ok(Delivery::Outcome(outcome)),
+                    Err(error) => last_error = error,
+                }
+            }
+            Ok(Delivery::Failure(FailedRun::new(
+                spec,
+                attempts,
+                last_error.cause(),
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delivery sink: aggregation + journaling in one place
+// ---------------------------------------------------------------------------
+
+/// Collects deliveries in run order, journaling each (fresh ones only)
+/// before folding it into the aggregator — so anything the aggregator
+/// saw is durable, and a crash between the two replays identically.
+struct Sink {
+    aggregator: CampaignAggregator,
+    outcomes: Vec<RunOutcome>,
+    failures: Vec<FailedRun>,
+    writer: Option<JournalWriter>,
+}
+
+impl Sink {
+    fn absorb(&mut self, entry: JournalEntry) {
+        match entry {
+            JournalEntry::Outcome(outcome) => {
+                self.aggregator.absorb(&outcome);
+                self.outcomes.push(outcome);
+            }
+            JournalEntry::Failure(failure) => {
+                self.aggregator.absorb_failure(&failure);
+                self.failures.push(failure);
+            }
+        }
+    }
+
+    fn deliver(&mut self, delivery: Delivery) -> Result<(), CampaignError> {
+        let entry = match delivery {
+            Delivery::Outcome(outcome) => JournalEntry::Outcome(outcome),
+            Delivery::Failure(failure) => JournalEntry::Failure(failure),
+        };
+        if let Some(writer) = &mut self.writer {
+            writer
+                .append(&entry)
+                .map_err(|e| CampaignError::Checkpoint {
+                    error: JournalError::Io(e),
+                })?;
+        }
+        self.absorb(entry);
+        Ok(())
+    }
+}
+
+/// Validates that journal entries actually describe the head of this
+/// campaign's run list (belt to the fingerprint's braces: the journal
+/// header already pinned the spec, this pins the expansion).
+fn check_replay(entries: &[JournalEntry], runs: &[RunSpec]) -> Result<(), CampaignError> {
+    let mismatch = |message: String| CampaignError::Checkpoint {
+        error: JournalError::SpecMismatch { message },
+    };
+    if entries.len() > runs.len() {
+        return Err(mismatch(format!(
+            "journal holds {} finished runs for a {}-run campaign",
+            entries.len(),
+            runs.len()
+        )));
+    }
+    for (position, entry) in entries.iter().enumerate() {
+        let run = &runs[position];
+        if entry.name() != run.name {
+            return Err(mismatch(format!(
+                "journaled run {position} is `{}`, campaign expects `{}`",
+                entry.name(),
+                run.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
 /// Executes a prepared run list (see [`CampaignSpec::expand`] and
-/// `record_run_traces`) and reduces it to a [`CampaignReport`].
+/// `record_run_traces`) and reduces it to a [`CampaignReport`], with
+/// default options: [`FailurePolicy::Abort`] and no checkpoint journal.
 ///
 /// `workers <= 1` executes sequentially on the calling thread; larger
 /// values fan runs out over that many persistent worker threads. The
@@ -158,62 +459,204 @@ fn attach_alone_ipc(
 /// # Errors
 ///
 /// Fails on the first run that cannot execute (unreadable trace file,
-/// inconsistent spec); queued work on other workers is discarded.
+/// inconsistent spec, panic inside the simulator); queued work on other
+/// workers is discarded.
 pub fn execute(
+    campaign: &CampaignSpec,
+    runs: Vec<RunSpec>,
+    workers: usize,
+) -> Result<CampaignReport, CampaignError> {
+    execute_resumable(campaign, runs, workers, &ExecutionOptions::default())
+}
+
+/// [`execute`] with explicit failure handling and checkpoint/resume.
+///
+/// When `options.journal` is set, each delivered result is appended to
+/// the journal before the campaign moves on; re-invoking with the same
+/// spec and journal path replays the finished prefix (skipping even the
+/// normalization prelude when nothing is left to run) and executes only
+/// the tail. Replayed results flow through the aggregator in their
+/// original run order, so an interrupted-and-resumed campaign reports
+/// byte-identical CSV/JSON to an uninterrupted one.
+///
+/// # Errors
+///
+/// * [`CampaignError::Checkpoint`] if the journal cannot be opened,
+///   belongs to a different campaign, or cannot be appended to;
+/// * under [`FailurePolicy::Abort`], the first failing run as
+///   [`CampaignError::RunFailed`] (or its structured error);
+/// * run-independent setup failures (e.g. a missing stand-alone IPC
+///   reference) regardless of policy.
+pub fn execute_resumable(
     campaign: &CampaignSpec,
     mut runs: Vec<RunSpec>,
     workers: usize,
+    options: &ExecutionOptions,
 ) -> Result<CampaignReport, CampaignError> {
     // lint: allow(determinism) -- wall-clock duration is report metadata, never simulated state
     let started = Instant::now();
-    if campaign.normalize {
+    let total = runs.len();
+    let (replay, writer) = match &options.journal {
+        Some(path) => {
+            let resumed = checkpoint::resume_or_create(
+                path,
+                checkpoint::fingerprint(campaign),
+                total as u64,
+            )?;
+            check_replay(&resumed.entries, &runs)?;
+            (resumed.entries, Some(resumed.writer))
+        }
+        None => (Vec::new(), None),
+    };
+    let replayed = replay.len();
+    // The prelude feeds only runs that will actually execute; a resume
+    // with nothing left to do (or an unnormalized campaign) skips it.
+    if campaign.normalize && replayed < total {
         let table = alone_ipc_table(campaign, &runs);
         attach_alone_ipc(&mut runs, &table)?;
     }
-    let total = runs.len();
-    let mut aggregator = CampaignAggregator::new(campaign.name.clone());
-    let mut outcomes = Vec::with_capacity(total);
-    let mut deliver = |outcome: RunOutcome, outcomes: &mut Vec<RunOutcome>| {
-        aggregator.absorb(&outcome);
-        outcomes.push(outcome);
+    let mut sink = Sink {
+        aggregator: CampaignAggregator::new(campaign.name.clone()),
+        outcomes: Vec::with_capacity(total),
+        failures: Vec::new(),
+        writer,
     };
+    for entry in replay {
+        sink.absorb(entry);
+    }
+    let tail: Vec<RunSpec> = runs.split_off(replayed);
+    drop(runs);
     if workers <= 1 {
-        for run in &runs {
-            deliver(run_spec(run)?, &mut outcomes);
+        for run in &tail {
+            let delivery = resolve(run, run_isolated(run), options.policy)?;
+            sink.deliver(delivery)?;
         }
     } else {
-        let mut pool: WorkerPool<(), RunSpec, Result<RunOutcome, CampaignError>> =
-            WorkerPool::new(workers, |(), run: &mut RunSpec| run_spec(run));
-        let mut queue: std::collections::VecDeque<RunSpec> = runs.drain(..).collect();
-        let mut dispatched = 0usize;
-        let mut collected = 0usize;
-        while collected < total {
-            // Keep every worker fed, at most one queued job ahead each.
-            while dispatched < total && dispatched - collected < 2 * workers {
-                let Some(run) = queue.pop_front() else {
-                    break;
-                };
-                pool.dispatch(dispatched % workers, (), run);
-                dispatched += 1;
-            }
-            // Collect strictly in run order: run i always comes back from
-            // slot i % workers, and each slot answers in dispatch order.
-            let (_, result) = pool.collect(collected % workers);
-            collected += 1;
-            deliver(result?, &mut outcomes);
-        }
+        execute_pooled(tail, workers, options.policy, &mut sink)?;
     }
     Ok(CampaignReport {
-        outcomes,
-        summary: aggregator.finish(),
+        outcomes: sink.outcomes,
+        failures: sink.failures,
+        replayed,
+        summary: sink.aggregator.finish(),
         wall: started.elapsed(),
         workers: if workers <= 1 { 0 } else { workers },
     })
 }
 
+/// The pooled run loop: round-robin dispatch, strict run-order
+/// collection, and slot-level recovery when a worker thread dies.
+fn execute_pooled(
+    tail: Vec<RunSpec>,
+    workers: usize,
+    policy: FailurePolicy,
+    sink: &mut Sink,
+) -> Result<(), CampaignError> {
+    let total = tail.len();
+    let mut pool: WorkerPool<(), RunSpec, Result<RunOutcome, String>> =
+        WorkerPool::new(workers, |(), run: &mut RunSpec| {
+            // The isolation boundary lives *inside* the worker: a
+            // panicking run reports back as data and the worker thread
+            // survives to take the next job. (Panic payloads are
+            // flattened to strings here because `RunError` itself need
+            // not cross threads.)
+            run_isolated(run).map_err(|error| error.cause_raw())
+        });
+    // The executor's own copy of everything currently inside the pool,
+    // per slot in dispatch order — what makes a dead worker's jobs
+    // resubmittable.
+    let mut inflight: Vec<VecDeque<RunSpec>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut queue: VecDeque<RunSpec> = tail.into();
+    let mut dispatched = 0usize;
+    let mut collected = 0usize;
+    while collected < total {
+        // Keep every worker fed, at most one queued job ahead each.
+        while dispatched < total && dispatched - collected < 2 * workers {
+            let Some(run) = queue.pop_front() else {
+                break;
+            };
+            let slot = dispatched % workers;
+            inflight[slot].push_back(run.clone());
+            pool.dispatch(slot, (), run);
+            dispatched += 1;
+        }
+        // Collect strictly in run order: run i always comes back from
+        // slot i % workers, and each slot answers in dispatch order.
+        let slot = collected % workers;
+        match pool.collect_recovered(slot) {
+            Collected::Done(run, result) => {
+                inflight[slot].pop_front();
+                let first = result.map_err(RunError::from_raw_cause);
+                let delivery = resolve(&run, first, policy)?;
+                sink.deliver(delivery)?;
+                collected += 1;
+            }
+            Collected::Lost {
+                message,
+                lost_jobs,
+                parked,
+            } => {
+                // The slot's oldest outstanding job — exactly run
+                // `collected` — died with the worker; everything else it
+                // held (later lost jobs, then parked jobs) was innocent
+                // and is resubmitted to the respawned slot in its
+                // original dispatch order.
+                let mut held: Vec<RunSpec> = inflight[slot].drain(..).collect();
+                if held.len() != lost_jobs + parked.len() || held.is_empty() {
+                    return Err(CampaignError::Spec {
+                        run: format!("worker slot {slot}"),
+                        message: format!(
+                            "pool recovery bookkeeping diverged: {} in-flight copies for \
+                             {lost_jobs} lost + {} parked jobs ({message})",
+                            held.len(),
+                            parked.len()
+                        ),
+                    });
+                }
+                let failed = held.remove(0);
+                let delivery = resolve(&failed, Err(RunError::Panic(message)), policy)?;
+                sink.deliver(delivery)?;
+                collected += 1;
+                for run in held {
+                    inflight[slot].push_back(run.clone());
+                    pool.dispatch(slot, (), run);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl RunError {
+    /// The raw cause string a pool worker reported (see
+    /// [`RunError::cause_raw`]), restored to a `RunError`.
+    fn from_raw_cause(raw: String) -> Self {
+        match raw.strip_prefix("panicked: ") {
+            Some(message) => RunError::Panic(message.to_owned()),
+            None => RunError::Campaign(CampaignError::RunFailed {
+                index: 0,
+                run: String::new(),
+                cause: raw,
+            }),
+        }
+    }
+
+    /// Flattens the error to the string form that crosses the pool's
+    /// result channel. Structured campaign errors under `Abort` are
+    /// rebuilt by [`resolve`] with the run's identity, so only the
+    /// cause text needs to survive the crossing.
+    fn cause_raw(&self) -> String {
+        match self {
+            RunError::Campaign(error) => error.to_string(),
+            RunError::Panic(message) => format!("panicked: {message}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim::SteppingStats;
 
     fn tiny_campaign() -> CampaignSpec {
         let mut campaign = CampaignSpec::smoke();
@@ -234,10 +677,75 @@ mod tests {
             assert!(outcome.metrics.is_some(), "normalized campaign has metrics");
         }
         assert_eq!(report.summary.runs, campaign.run_count());
-        assert!(report.runs_per_sec() > 0.0);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.replayed, 0);
+        assert!(report.runs_per_sec().is_some_and(|rate| rate > 0.0));
         // Every sweep point must have normalized metrics (Baseline is in
         // the defense axis).
         assert!(report.summary.points.iter().all(|p| p.normalized.is_some()));
+    }
+
+    #[test]
+    fn zero_executed_runs_report_no_rate() {
+        let report = CampaignReport {
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+            replayed: 0,
+            summary: CampaignAggregator::new("empty").finish(),
+            wall: Duration::ZERO,
+            workers: 0,
+        };
+        assert_eq!(report.runs_per_sec(), None);
+        // A fully-replayed resume also executed nothing.
+        let replayed = CampaignReport {
+            replayed: 1,
+            outcomes: vec![RunOutcome {
+                index: 0,
+                name: "r".into(),
+                scenario: "attack".into(),
+                defense: "Baseline".into(),
+                n_rh: 1,
+                channels: 1,
+                total_cycles: 1,
+                activations: 0,
+                dram_energy_j: 0.0,
+                threads: Vec::new(),
+                metrics: None,
+                stepping: SteppingStats::default(),
+            }],
+            failures: Vec::new(),
+            summary: CampaignAggregator::new("replayed").finish(),
+            wall: Duration::from_millis(5),
+            workers: 0,
+        };
+        assert_eq!(replayed.runs_per_sec(), None);
+    }
+
+    #[test]
+    fn failure_manifest_serializations_quote_causes() {
+        let report = CampaignReport {
+            outcomes: Vec::new(),
+            failures: vec![FailedRun {
+                index: 3,
+                name: "mix-003/Para/nrh32768/ch1".into(),
+                scenario: "attack".into(),
+                defense: "Para".into(),
+                n_rh: 32_768,
+                channels: 1,
+                attempts: 2,
+                cause: "panicked: index 4, len 4, with \"quotes\"".into(),
+            }],
+            replayed: 0,
+            summary: CampaignAggregator::new("t").finish(),
+            wall: Duration::ZERO,
+            workers: 0,
+        };
+        let csv = report.failures_csv();
+        assert!(csv.starts_with("index,name,scenario,defense,"));
+        assert!(csv.contains("\"panicked: index 4, len 4, with \"\"quotes\"\"\""));
+        let json = report.failures_json();
+        assert!(json.contains("\\\"quotes\\\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -268,6 +776,92 @@ mod tests {
                 assert!(message.contains("not-a-workload"))
             }
             other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_failing_run_aborts_by_default_with_its_identity() {
+        let campaign = tiny_campaign();
+        let mut runs = campaign.expand();
+        // A benign thread pointing at a missing trace file fails its run.
+        runs[1].threads[0].trace = Some(crate::trace::TraceSource {
+            path: PathBuf::from("does/not/exist.trace"),
+            repeat: false,
+        });
+        match execute(&campaign, runs, 0) {
+            Err(CampaignError::Trace { run, .. }) => assert!(run.contains('/')),
+            other => panic!("expected the structured trace error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_completes_the_campaign_and_flags_the_point() {
+        let campaign = tiny_campaign();
+        let mut runs = campaign.expand();
+        let total = runs.len();
+        runs[1].threads[0].trace = Some(crate::trace::TraceSource {
+            path: PathBuf::from("does/not/exist.trace"),
+            repeat: false,
+        });
+        let victim_name = runs[1].name.clone();
+        let options = ExecutionOptions {
+            policy: FailurePolicy::Quarantine,
+            journal: None,
+        };
+        let report = execute_resumable(&campaign, runs, 0, &options).expect("campaign completes");
+        assert_eq!(report.outcomes.len(), total - 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].name, victim_name);
+        assert_eq!(report.failures[0].attempts, 1);
+        assert_eq!(report.summary.failed, 1);
+        assert!(report.summary.is_degraded());
+        assert_eq!(
+            report
+                .summary
+                .points
+                .iter()
+                .map(|p| p.failed_runs)
+                .sum::<usize>(),
+            1
+        );
+        assert!(report.failures_csv().contains(&victim_name));
+    }
+
+    #[test]
+    fn retry_exhaustion_quarantines_with_the_attempt_count() {
+        let campaign = tiny_campaign();
+        let mut runs = campaign.expand();
+        runs[0].threads[0].trace = Some(crate::trace::TraceSource {
+            path: PathBuf::from("does/not/exist.trace"),
+            repeat: false,
+        });
+        let options = ExecutionOptions {
+            policy: FailurePolicy::Retry { max_attempts: 3 },
+            journal: None,
+        };
+        let report = execute_resumable(&campaign, runs, 0, &options).expect("campaign completes");
+        assert_eq!(
+            report.failures.len(),
+            1,
+            "a permanent fault exhausts retries"
+        );
+        assert_eq!(report.failures[0].attempts, 3);
+    }
+
+    #[test]
+    fn raw_causes_round_trip_across_the_pool_channel() {
+        let panic = RunError::Panic("worker went sideways".into());
+        match RunError::from_raw_cause(panic.cause_raw()) {
+            RunError::Panic(message) => assert_eq!(message, "worker went sideways"),
+            RunError::Campaign(_) => panic!("panic cause must stay a panic"),
+        }
+        let structured = RunError::Campaign(CampaignError::Spec {
+            run: "r".into(),
+            message: "broken".into(),
+        });
+        match RunError::from_raw_cause(structured.cause_raw()) {
+            RunError::Campaign(error) => assert!(error.to_string().contains("broken")),
+            RunError::Panic(_) => panic!("structured cause must stay structured"),
         }
     }
 }

@@ -7,7 +7,7 @@
 //! 125 attack-present eight-thread mixes, swept across defenses and
 //! RowHammer thresholds).
 //!
-//! Four pieces:
+//! Six pieces:
 //!
 //! * [`trace`] — streaming readers/writers for Ramulator-style text
 //!   traces and a compact length-prefixed binary format, plus the
@@ -19,11 +19,23 @@
 //!   channel counts} into an ordered [`RunSpec`] list.
 //! * [`executor`] — sequential or pooled execution over persistent
 //!   workers ([`sim::pool::WorkerPool`]) with results streamed back in
-//!   run order, so every worker count emits byte-identical output.
+//!   run order, so every worker count emits byte-identical output. Every
+//!   run executes behind an isolation boundary with a configurable
+//!   [`FailurePolicy`] (abort / quarantine / retry), and
+//!   [`execute_resumable`] checkpoints each result so a killed campaign
+//!   resumes where it stopped.
+//! * [`checkpoint`] — the append-only, checksummed journal behind
+//!   resume: records completed runs in run order, keyed by a
+//!   [`CampaignSpec`] fingerprint, dropping (never trusting) a torn
+//!   trailing record.
 //! * [`aggregate`] — incremental reduction into per-sweep-point
 //!   [`MultiProgramMetrics`](sim::MultiProgramMetrics)/RHLI summaries
 //!   with CSV/JSON emission (and a validating CSV parser), bridged to
-//!   `sim::report` for table rendering.
+//!   `sim::report` for table rendering. Quarantined runs mark their
+//!   sweep points degraded instead of poisoning the campaign.
+//! * [`faults`] — deterministic fault injection (panics, trace I/O
+//!   errors, mid-journal aborts) behind the `fault-injection` cargo
+//!   feature; release builds compile the hooks to nothing.
 //!
 //! ## Example
 //!
@@ -48,14 +60,23 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod artifacts;
+pub mod checkpoint;
 pub mod executor;
+pub mod faults;
 pub mod runner;
 pub mod spec;
 pub mod trace;
 
 pub use aggregate::{parse_summary_csv, CampaignAggregator, CampaignSummary, SweepKey};
-pub use executor::{default_workers, execute, CampaignReport};
-pub use runner::{record_run_traces, run_spec, CampaignError, RunOutcome, ThreadOutcome};
+pub use artifacts::write_atomic;
+pub use checkpoint::{fingerprint, JournalEntry, JournalError};
+pub use executor::{
+    default_workers, execute, execute_resumable, CampaignReport, ExecutionOptions, FailurePolicy,
+};
+pub use runner::{
+    record_run_traces, run_spec, CampaignError, FailedRun, RunOutcome, ThreadOutcome,
+};
 pub use spec::{CampaignSpec, RunScale, RunSpec, Scenario, ThreadGenerator, ThreadSpec};
 pub use trace::{
     load_trace_file, open_trace_file, record_trace_file, LoopedTrace, TraceError, TraceFormat,

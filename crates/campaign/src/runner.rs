@@ -33,6 +33,24 @@ pub enum CampaignError {
         /// What was wrong.
         message: String,
     },
+    /// A run failed (panicked or errored) under
+    /// `FailurePolicy::Abort` — the isolation boundary turned the
+    /// failure into this structured error instead of unwinding the
+    /// whole process.
+    RunFailed {
+        /// Position of the failed run in the campaign's run order.
+        index: usize,
+        /// The run's name.
+        run: String,
+        /// The panic message or underlying error.
+        cause: String,
+    },
+    /// The checkpoint journal could not be opened, resumed from, or
+    /// appended to.
+    Checkpoint {
+        /// The underlying journal failure.
+        error: crate::checkpoint::JournalError,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -40,11 +58,61 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::Trace { run, error } => write!(f, "run `{run}`: {error}"),
             CampaignError::Spec { run, message } => write!(f, "run `{run}`: {message}"),
+            CampaignError::RunFailed { index, run, cause } => {
+                write!(f, "run {index} `{run}` failed: {cause}")
+            }
+            CampaignError::Checkpoint { error } => write!(f, "campaign checkpoint: {error}"),
         }
     }
 }
 
 impl std::error::Error for CampaignError {}
+
+impl From<crate::checkpoint::JournalError> for CampaignError {
+    fn from(error: crate::checkpoint::JournalError) -> Self {
+        CampaignError::Checkpoint { error }
+    }
+}
+
+/// A run quarantined by the executor's failure policy: identity,
+/// attempt count and cause, as it lands in the failure manifest and the
+/// checkpoint journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRun {
+    /// Position of the run in the campaign's run order.
+    pub index: usize,
+    /// Run name (`<mix>/<defense>/nrh<n>/ch<c>`).
+    pub name: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Defense label.
+    pub defense: String,
+    /// Full-scale RowHammer threshold of the sweep point.
+    pub n_rh: u64,
+    /// Channel count of the sweep point.
+    pub channels: usize,
+    /// How many times the run was attempted before being quarantined.
+    pub attempts: u32,
+    /// The final attempt's panic message or error.
+    pub cause: String,
+}
+
+impl FailedRun {
+    /// Builds the manifest entry for `spec` after `attempts` failed
+    /// attempts, the last with `cause`.
+    pub fn new(spec: &RunSpec, attempts: u32, cause: String) -> Self {
+        Self {
+            index: spec.index,
+            name: spec.name.clone(),
+            scenario: spec.scenario.clone(),
+            defense: spec.defense.label().to_owned(),
+            n_rh: spec.paper_n_rh,
+            channels: spec.channels,
+            attempts,
+            cause,
+        }
+    }
+}
 
 /// Per-thread outcome of one campaign run (a compact projection of
 /// `sim::ThreadResult`).
@@ -211,6 +279,7 @@ fn materialize_threads(
 /// IPC references do not match the benign thread count, or the spec's
 /// thread order diverges from the builder's (attacker first).
 pub fn run_spec(spec: &RunSpec) -> Result<RunOutcome, CampaignError> {
+    crate::faults::before_run(spec.index);
     if !spec.alone_ipc.is_empty() && spec.alone_ipc.len() != spec.benign_threads().count() {
         return Err(CampaignError::Spec {
             run: spec.name.clone(),

@@ -201,7 +201,9 @@ impl<W: Write> TraceWriter<W> {
 }
 
 /// LEB128-encodes `value` into `buf`, returning the number of bytes used.
-fn write_varint(buf: &mut [u8], mut value: u64) -> usize {
+/// Shared with the checkpoint journal (`campaign::checkpoint`), which
+/// frames its records with the same varints as binary traces.
+pub(crate) fn write_varint(buf: &mut [u8], mut value: u64) -> usize {
     let mut n = 0;
     loop {
         let byte = (value & 0x7f) as u8;
@@ -216,7 +218,7 @@ fn write_varint(buf: &mut [u8], mut value: u64) -> usize {
 }
 
 /// LEB128-decodes a u64 from `buf[*cursor..]`, advancing the cursor.
-fn read_varint(buf: &[u8], cursor: &mut usize) -> Result<u64, String> {
+pub(crate) fn read_varint(buf: &[u8], cursor: &mut usize) -> Result<u64, String> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
@@ -453,6 +455,9 @@ impl<R: BufRead> Iterator for TraceReader<R> {
 ///
 /// Propagates file-open errors.
 pub fn open_trace_file(path: &Path) -> Result<TraceReader<BufReader<File>>, TraceError> {
+    if let Some(error) = crate::faults::before_trace_open(path) {
+        return Err(TraceError::Io(error));
+    }
     let mut source = BufReader::new(File::open(path)?);
     let format = match source.fill_buf() {
         Ok(head) if head.len() >= 4 && head[..4] == BINARY_MAGIC => TraceFormat::Binary,
@@ -477,6 +482,10 @@ pub fn load_trace_file(path: &Path) -> Result<Vec<TraceRecord>, TraceError> {
 /// written. This is the recorder that makes campaigns replayable from
 /// disk: point it at any `workloads` generator (synthetic or attack).
 ///
+/// The file appears atomically (written to a temporary sibling, then
+/// renamed into place), so a process killed mid-recording never leaves a
+/// torn trace behind for the trace-reuse check to trust.
+///
 /// # Errors
 ///
 /// Propagates file-system errors.
@@ -489,12 +498,14 @@ pub fn record_trace_file(
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut writer = TraceWriter::new(BufWriter::new(File::create(path)?), format)?;
+    let staging = crate::artifacts::staging_path(path);
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(&staging)?), format)?;
     for record in records.into_iter().take(limit as usize) {
         writer.write(&record)?;
     }
     let written = writer.written();
     writer.finish()?;
+    std::fs::rename(&staging, path)?;
     Ok(written)
 }
 

@@ -15,6 +15,9 @@
 //! * **panic-freedom** — no `unwrap`/`expect`/`panic!` escape hatches
 //!   outside tests;
 //! * **thread-discipline** — threads are created only in `sim::pool`;
+//! * **recovery-discipline** — `catch_unwind`/`resume_unwind` only at
+//!   the sanctioned isolation boundaries (`sim::pool`,
+//!   `campaign::executor`);
 //! * **hygiene** — no stray printing in library code, every crate opts
 //!   into the workspace lints.
 //!

@@ -56,6 +56,8 @@ pub const PANIC_FREEDOM: &str = "panic-freedom";
 /// See [`RULES`].
 pub const THREAD_DISCIPLINE: &str = "thread-discipline";
 /// See [`RULES`].
+pub const RECOVERY_DISCIPLINE: &str = "recovery-discipline";
+/// See [`RULES`].
 pub const HYGIENE: &str = "hygiene";
 /// See [`RULES`].
 pub const SUPPRESSION: &str = "suppression";
@@ -94,6 +96,15 @@ pub const RULES: &[RuleInfo] = &[
                  deterministic worker pool.",
     },
     RuleInfo {
+        id: RECOVERY_DISCIPLINE,
+        summary: "unwind recovery only at the sanctioned isolation boundaries",
+        detail: "catch_unwind and resume_unwind are banned outside the worker pool \
+                 (crates/sim/src/pool.rs) and the campaign run-isolation boundary \
+                 (crates/campaign/src/executor.rs): scattered unwind recovery hides \
+                 real failures and corrupts half-stepped state. A deliberate boundary \
+                 elsewhere needs a justified allow.",
+    },
+    RuleInfo {
         id: HYGIENE,
         summary: "no stray printing; workspace lint opt-in",
         detail: "println!, print!, eprintln!, eprint!, dbg! are banned in library \
@@ -119,6 +130,10 @@ const PARALLELISM_ALLOWLIST: &[&str] = &[
 /// The one file allowed to create threads.
 const THREAD_ALLOWLIST: &[&str] = &["crates/sim/src/pool.rs"];
 
+/// Files allowed to catch or re-raise unwinds: the worker pool (worker
+/// death recovery) and the campaign executor (per-run isolation).
+const RECOVERY_ALLOWLIST: &[&str] = &["crates/sim/src/pool.rs", "crates/campaign/src/executor.rs"];
+
 /// Tokens banned inside alloc-free regions.
 const ALLOC_TOKENS: &[&str] = &[
     "Vec::new",
@@ -143,6 +158,9 @@ const PANIC_TOKENS: &[&str] = &[
 
 /// Tokens banned by thread-discipline.
 const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// Tokens banned by recovery-discipline.
+const RECOVERY_TOKENS: &[&str] = &["catch_unwind", "resume_unwind"];
 
 /// Macros banned by hygiene in library code.
 const PRINT_TOKENS: &[&str] = &["println!", "print!", "eprintln!", "eprint!", "dbg!"];
@@ -184,6 +202,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
             check_determinism(path, line_no, code, &hash_names, &mut raw);
             check_panic_freedom(path, line_no, code, &mut raw);
             check_thread_discipline(path, line_no, code, &mut raw);
+            check_recovery_discipline(path, line_no, code, &mut raw);
             check_hygiene_code(path, line_no, code, &mut raw);
             if lexer::in_region(&regions, RegionKind::AllocFree, index) {
                 check_alloc_free(path, line_no, code, &mut raw);
@@ -480,6 +499,25 @@ fn check_thread_discipline(path: &str, line_no: usize, code: &str, out: &mut Vec
                 rule: THREAD_DISCIPLINE,
                 message: format!(
                     "`{token}` outside sim::pool; route parallelism through the worker pool"
+                ),
+            });
+        }
+    }
+}
+
+fn check_recovery_discipline(path: &str, line_no: usize, code: &str, out: &mut Vec<Finding>) {
+    if allowlisted(path, RECOVERY_ALLOWLIST) {
+        return;
+    }
+    for token in RECOVERY_TOKENS {
+        if code.contains(token) {
+            out.push(Finding {
+                file: path.to_owned(),
+                line: line_no,
+                rule: RECOVERY_DISCIPLINE,
+                message: format!(
+                    "`{token}` outside the sanctioned isolation boundaries (sim::pool, \
+                     campaign::executor); justify the boundary or let the unwind propagate"
                 ),
             });
         }

@@ -4,7 +4,8 @@
 //! `bh-lint` binary exits non-zero on it (and zero on a clean tree).
 
 use bh_lint::rules::{
-    ALLOC_FREE, DETERMINISM, HYGIENE, PANIC_FREEDOM, SUPPRESSION, THREAD_DISCIPLINE,
+    ALLOC_FREE, DETERMINISM, HYGIENE, PANIC_FREEDOM, RECOVERY_DISCIPLINE, SUPPRESSION,
+    THREAD_DISCIPLINE,
 };
 use bh_lint::{run_workspace, Finding};
 use std::fs;
@@ -146,6 +147,41 @@ fn thread_discipline_fixture_fires_once_outside_pool() {
     // The spawn also carries no panic token, so the one finding is the
     // thread rule.
     assert_single(&fixture, THREAD_DISCIPLINE, "crates/llc/src/lib.rs", 2);
+}
+
+#[test]
+fn recovery_discipline_fixture_fires_once_outside_the_boundaries() {
+    let fixture = Fixture::new(
+        "recovery-discipline",
+        "mitigations",
+        "pub fn risky() -> bool {\n\
+         \x20   std::panic::catch_unwind(|| {}).is_ok()\n\
+         }\n",
+    );
+    assert_single(
+        &fixture,
+        RECOVERY_DISCIPLINE,
+        "crates/mitigations/src/lib.rs",
+        2,
+    );
+}
+
+#[test]
+fn recovery_discipline_is_silent_in_the_sanctioned_files() {
+    // The same source under the campaign executor's path is clean: the
+    // run-isolation boundary is allowed to catch unwinds.
+    let fixture = Fixture::new(
+        "recovery-allowlist",
+        "campaign",
+        "pub fn boundary() -> bool {\n\
+         \x20   std::panic::catch_unwind(|| {}).is_ok()\n\
+         }\n",
+    );
+    // Relocate the source to the allowlisted executor path.
+    let src = fixture.root.join("crates/campaign/src");
+    fs::rename(src.join("lib.rs"), src.join("executor.rs")).expect("rename fixture source");
+    fs::write(src.join("lib.rs"), "pub mod executor;\n").expect("write lib shim");
+    assert_eq!(fixture.findings(), Vec::new());
 }
 
 #[test]

@@ -335,7 +335,7 @@ impl MemorySubsystem {
             // lint: allow(panic-freedom) -- every shard is home before tick_pooled starts handing them out
             let shard = self.shards[channel].take().expect("shard is present");
             self.pool
-                .as_ref()
+                .as_mut()
                 // lint: allow(panic-freedom) -- the pool is created at the top of tick_pooled
                 .expect("pool was just created")
                 .dispatch(channel - 1, now, shard);
@@ -351,6 +351,7 @@ impl MemorySubsystem {
         // the panic is re-raised as soon as the shards are back. A shard
         // whose own worker panicked is unavoidably lost with that
         // worker's unwind.)
+        // lint: allow(recovery-discipline) -- shard restoration boundary documented above; payload is re-raised
         let shard0_done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // lint: allow(panic-freedom) -- shard 0 is stepped in place and never handed to a worker
             let shard0 = self.shards[0].as_mut().expect("shard 0 never leaves");
@@ -362,6 +363,7 @@ impl MemorySubsystem {
         for channel in 1..self.shards.len() {
             // lint: allow(panic-freedom) -- the pool is created at the top of tick_pooled
             let pool = self.pool.as_mut().expect("pool was just created");
+            // lint: allow(recovery-discipline) -- shard restoration boundary documented above; payload is re-raised
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 pool.collect(channel - 1)
             })) {
@@ -376,9 +378,11 @@ impl MemorySubsystem {
         }
         match shard0_done {
             Ok(done) => completed.extend(done.into_iter().map(|d| (0, d))),
+            // lint: allow(recovery-discipline) -- re-raising the original shard-0 panic after restoration
             Err(payload) => std::panic::resume_unwind(payload),
         }
         if let Some(payload) = worker_panic {
+            // lint: allow(recovery-discipline) -- re-raising the first worker panic after restoration
             std::panic::resume_unwind(payload);
         }
         for (channel, done) in worker_done {

@@ -14,20 +14,43 @@
 //!    `fig5_multicore` prints.
 //!
 //! ```text
-//! cargo run --release -p examples-bin --bin campaign -- [smoke|quick|standard] [workers N] [out DIR]
+//! cargo run --release -p examples-bin --bin campaign -- \
+//!     [smoke|quick|standard] [workers N] [out DIR] [journal] [abort-after N]
 //! ```
 //!
 //! `smoke` is the 8-run CI configuration; `quick` (default) is a
 //! 24-mix × 3-defense × 2-threshold campaign (144 runs); `standard` runs
 //! the same matrix at full experiment scale (much slower).
+//!
+//! `journal` switches to checkpointed execution: one pooled pass with
+//! every result appended to `DIR/campaign.journal`, resuming past
+//! already-journaled runs on re-invocation — artifacts stay
+//! byte-identical to an uninterrupted (or sequential) run. `abort-after
+//! N` arms the deterministic fault injector to kill the process after
+//! the N-th journal append (requires building with `--features
+//! fault-injection`); CI uses the pair to prove the kill/resume
+//! round-trip.
 
-use campaign::{execute, parse_summary_csv, record_run_traces, CampaignSpec, TraceFormat};
+use campaign::{
+    execute, execute_resumable, parse_summary_csv, record_run_traces, write_atomic, CampaignReport,
+    CampaignSpec, ExecutionOptions, TraceFormat,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn fail(message: impl std::fmt::Display) -> ExitCode {
     eprintln!("campaign: {message}");
     ExitCode::FAILURE
+}
+
+/// Human-readable throughput: `runs_per_sec` is `None` when the
+/// invocation executed nothing (e.g. a resume that found every run
+/// journaled).
+fn rate(report: &CampaignReport) -> String {
+    match report.runs_per_sec() {
+        Some(rate) => format!("{rate:.2} runs/sec"),
+        None => "nothing executed".to_owned(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -37,6 +60,8 @@ fn main() -> ExitCode {
     // capped at 4 since the demo's runs are small.
     let mut workers = campaign::default_workers().clamp(2, 4);
     let mut out_dir = PathBuf::from("target/campaign");
+    let mut journal = false;
+    let mut abort_after: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -58,12 +83,27 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => return fail("out needs a directory argument"),
             },
+            "journal" => journal = true,
+            "abort-after" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => abort_after = Some(n),
+                None => return fail("abort-after needs an integer argument"),
+            },
             other => {
                 return fail(format!(
-                    "unknown argument `{other}` (expected smoke|quick|standard, workers N, out DIR)"
+                    "unknown argument `{other}` (expected smoke|quick|standard, workers N, \
+                     out DIR, journal, abort-after N)"
                 ))
             }
         }
+    }
+    if abort_after.is_some() && !cfg!(feature = "fault-injection") {
+        return fail(
+            "abort-after needs the fault injector; rebuild with \
+             `--features fault-injection`",
+        );
+    }
+    if abort_after.is_some() && !journal {
+        return fail("abort-after only makes sense with journal");
     }
 
     let runs = spec.expand();
@@ -99,59 +139,103 @@ fn main() -> ExitCode {
         record_started.elapsed()
     );
 
-    // Phase 2: execute from trace files, sequentially and pooled.
-    let sequential = match execute(&spec, replayable.clone(), 0) {
-        Ok(report) => report,
-        Err(e) => return fail(e),
-    };
-    println!(
-        "sequential: {} runs in {:.2?} ({:.2} runs/sec)",
-        sequential.outcomes.len(),
-        sequential.wall,
-        sequential.runs_per_sec()
-    );
-    let pooled = match execute(&spec, replayable, workers) {
-        Ok(report) => report,
-        Err(e) => return fail(e),
-    };
-    println!(
-        "pooled ({workers} workers): {} runs in {:.2?} ({:.2} runs/sec)",
-        pooled.outcomes.len(),
-        pooled.wall,
-        pooled.runs_per_sec()
-    );
+    // Phase 2: execute from trace files. Journaled mode makes one
+    // checkpointed pooled pass (resuming past journaled runs); plain mode
+    // runs sequentially AND pooled to demonstrate byte-identity.
+    let report = if journal {
+        #[cfg(feature = "fault-injection")]
+        if let Some(records) = abort_after {
+            campaign::faults::arm(campaign::faults::FaultPlan {
+                abort_after_journal_records: Some(records),
+                ..Default::default()
+            });
+            println!("fault injector armed: abort after {records} journal records");
+        }
+        let options = ExecutionOptions {
+            journal: Some(out_dir.join("campaign.journal")),
+            ..Default::default()
+        };
+        let resumed = match execute_resumable(&spec, replayable, workers, &options) {
+            Ok(report) => report,
+            Err(e) => return fail(e),
+        };
+        println!(
+            "journaled ({workers} workers): {} runs ({} replayed from journal) in {:.2?} ({})",
+            resumed.outcomes.len(),
+            resumed.replayed,
+            resumed.wall,
+            rate(&resumed)
+        );
+        resumed
+    } else {
+        let sequential = match execute(&spec, replayable.clone(), 0) {
+            Ok(report) => report,
+            Err(e) => return fail(e),
+        };
+        println!(
+            "sequential: {} runs in {:.2?} ({})",
+            sequential.outcomes.len(),
+            sequential.wall,
+            rate(&sequential)
+        );
+        let pooled = match execute(&spec, replayable, workers) {
+            Ok(report) => report,
+            Err(e) => return fail(e),
+        };
+        println!(
+            "pooled ({workers} workers): {} runs in {:.2?} ({})",
+            pooled.outcomes.len(),
+            pooled.wall,
+            rate(&pooled)
+        );
 
-    // Phase 3: pooled output must be byte-identical to sequential.
-    let csv = sequential.summary.to_csv();
-    if pooled.summary.to_csv() != csv {
-        return fail("pooled execution emitted different CSV than sequential");
-    }
-    println!("pooled CSV is byte-identical to sequential");
+        // Phase 3: pooled output must be byte-identical to sequential.
+        if pooled.summary.to_csv() != sequential.summary.to_csv() {
+            return fail("pooled execution emitted different CSV than sequential");
+        }
+        println!("pooled CSV is byte-identical to sequential");
+        sequential
+    };
 
-    // Phase 4: persist, self-validate, render.
+    // Phase 4: persist (atomically — a killed campaign must never leave a
+    // torn artifact), self-validate, render.
+    let csv = report.summary.to_csv();
     let csv_path = out_dir.join("campaign.csv");
     let json_path = out_dir.join("campaign.json");
-    if let Err(e) = std::fs::write(&csv_path, &csv) {
+    if let Err(e) = write_atomic(&csv_path, &csv) {
         return fail(e);
     }
-    if let Err(e) = std::fs::write(&json_path, sequential.summary.to_json()) {
+    if let Err(e) = write_atomic(&json_path, report.summary.to_json()) {
         return fail(e);
     }
     // Idle-skip accounting goes to its own file: the summary CSV/JSON are
     // pinned byte-identical across advance modes, these counters are not.
     let stepping_path = out_dir.join("stepping.csv");
-    if let Err(e) = std::fs::write(&stepping_path, sequential.stepping_csv()) {
+    if let Err(e) = write_atomic(&stepping_path, report.stepping_csv()) {
         return fail(e);
+    }
+    if !report.failures.is_empty() {
+        if let Err(e) = write_atomic(&out_dir.join("failures.csv"), report.failures_csv()) {
+            return fail(e);
+        }
+        if let Err(e) = write_atomic(&out_dir.join("failures.json"), report.failures_json()) {
+            return fail(e);
+        }
+        println!(
+            "{} quarantined runs -> {}",
+            report.failures.len(),
+            out_dir.join("failures.csv").display()
+        );
     }
     let rows = match parse_summary_csv(&csv) {
         Ok(rows) => rows,
         Err(e) => return fail(format!("emitted CSV does not parse: {e}")),
     };
-    if rows.len() != sequential.summary.points.len() {
+    if rows.len() != report.summary.points.len() {
         return fail(format!(
             "CSV row count {} != {} sweep points",
             rows.len(),
-            sequential.summary.points.len()
+            report.summary.points.len()
         ));
     }
     println!(
@@ -162,7 +246,7 @@ fn main() -> ExitCode {
     );
     println!(
         "normalized sweep (same table as fig5_multicore):\n\n{}",
-        sim::report::render_multiprogram(&sequential.summary.multiprogram_rows())
+        sim::report::render_multiprogram(&report.summary.multiprogram_rows())
     );
     ExitCode::SUCCESS
 }

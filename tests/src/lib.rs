@@ -41,3 +41,16 @@ pub fn run_attack_with_log(kind: DefenseKind) -> RunResult {
 pub fn benign_ipc(result: &RunResult) -> f64 {
     result.benign_threads().map(|t| t.ipc).sum()
 }
+
+/// The 4-run campaign shared by the `resume_harness` binary and the
+/// kill/resume integration test: both sides must expand the *same* spec,
+/// since the test polls the harness's journal by fingerprint.
+pub fn resume_campaign() -> campaign::CampaignSpec {
+    let mut spec = campaign::CampaignSpec::smoke();
+    spec.name = "kill-resume".to_owned();
+    spec.mix_count = 1;
+    spec.threads_per_mix = 2;
+    spec.scale.benign_instructions = 400;
+    spec.scale.min_cycles = 20_000;
+    spec
+}
