@@ -377,16 +377,21 @@ fn resolve(
 
 /// Collects deliveries in run order, journaling each (fresh ones only)
 /// before folding it into the aggregator — so anything the aggregator
-/// saw is durable, and a crash between the two replays identically.
-struct Sink {
+/// saw is durable, and a crash between the two replays identically. The
+/// observer fires on every absorbed entry (replayed and fresh alike),
+/// *after* the journal append, so a subscriber never sees a result that
+/// would vanish on a crash.
+struct Sink<'a> {
     aggregator: CampaignAggregator,
     outcomes: Vec<RunOutcome>,
     failures: Vec<FailedRun>,
     writer: Option<JournalWriter>,
+    observer: DeliveryObserver<'a>,
 }
 
-impl Sink {
-    fn absorb(&mut self, entry: JournalEntry) {
+impl Sink<'_> {
+    fn absorb(&mut self, entry: JournalEntry, replayed: bool) {
+        (self.observer)(&entry, replayed);
         match entry {
             JournalEntry::Outcome(outcome) => {
                 self.aggregator.absorb(&outcome);
@@ -411,7 +416,7 @@ impl Sink {
                     error: JournalError::Io(e),
                 })?;
         }
-        self.absorb(entry);
+        self.absorb(entry, false);
         Ok(())
     }
 }
@@ -489,9 +494,38 @@ pub fn execute(
 ///   reference) regardless of policy.
 pub fn execute_resumable(
     campaign: &CampaignSpec,
+    runs: Vec<RunSpec>,
+    workers: usize,
+    options: &ExecutionOptions,
+) -> Result<CampaignReport, CampaignError> {
+    execute_observed(campaign, runs, workers, options, &mut |_, _| {})
+}
+
+/// A result-delivery subscriber for [`execute_observed`]: called with
+/// every delivered entry in campaign run order; the `bool` marks entries
+/// replayed from the checkpoint journal (as opposed to executed by this
+/// invocation).
+pub type DeliveryObserver<'a> = &'a mut dyn FnMut(&JournalEntry, bool);
+
+/// [`execute_resumable`] with a result-delivery subscriber: `observer`
+/// fires once per delivered run result, in run order, for replayed and
+/// freshly-executed results alike — which is how the campaign server
+/// streams per-run NDJSON records to clients without buffering whole
+/// reports. When a journal is configured the observer fires only *after*
+/// the entry is durably appended, so a subscriber never observes a
+/// result a crash could take back; on resume, the journal's replayed
+/// prefix is observed first (flagged `replayed = true`), giving a
+/// late-attaching subscriber the complete result history.
+///
+/// # Errors
+///
+/// Exactly [`execute_resumable`]'s.
+pub fn execute_observed(
+    campaign: &CampaignSpec,
     mut runs: Vec<RunSpec>,
     workers: usize,
     options: &ExecutionOptions,
+    observer: DeliveryObserver<'_>,
 ) -> Result<CampaignReport, CampaignError> {
     // lint: allow(determinism) -- wall-clock duration is report metadata, never simulated state
     let started = Instant::now();
@@ -520,9 +554,10 @@ pub fn execute_resumable(
         outcomes: Vec::with_capacity(total),
         failures: Vec::new(),
         writer,
+        observer,
     };
     for entry in replay {
-        sink.absorb(entry);
+        sink.absorb(entry, true);
     }
     let tail: Vec<RunSpec> = runs.split_off(replayed);
     drop(runs);
@@ -550,7 +585,7 @@ fn execute_pooled(
     tail: Vec<RunSpec>,
     workers: usize,
     policy: FailurePolicy,
-    sink: &mut Sink,
+    sink: &mut Sink<'_>,
 ) -> Result<(), CampaignError> {
     let total = tail.len();
     let mut pool: WorkerPool<(), RunSpec, Result<RunOutcome, String>> =
@@ -846,6 +881,47 @@ mod tests {
             "a permanent fault exhausts retries"
         );
         assert_eq!(report.failures[0].attempts, 3);
+    }
+
+    #[test]
+    fn observer_sees_every_delivery_in_run_order_with_replay_flags() {
+        let campaign = tiny_campaign();
+        let dir = std::env::temp_dir().join(format!("bh-observer-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let journal = dir.join("observer.journal");
+        let _ = std::fs::remove_file(&journal);
+        let options = ExecutionOptions {
+            policy: FailurePolicy::Abort,
+            journal: Some(journal.clone()),
+        };
+        let total = campaign.run_count();
+        // Fresh execution: every delivery observed in run order, none
+        // flagged as replayed.
+        let mut seen: Vec<(usize, bool)> = Vec::new();
+        let report = execute_observed(&campaign, campaign.expand(), 0, &options, &mut |e, r| {
+            seen.push((e.index(), r));
+        })
+        .expect("campaign runs");
+        assert_eq!(
+            seen,
+            (0..total).map(|i| (i, false)).collect::<Vec<_>>(),
+            "fresh deliveries arrive in run order, unflagged"
+        );
+        // Resume over the complete journal: the same history replays to a
+        // late-attaching observer, now flagged.
+        let mut replayed: Vec<(usize, bool)> = Vec::new();
+        let resumed = execute_observed(&campaign, campaign.expand(), 0, &options, &mut |e, r| {
+            replayed.push((e.index(), r));
+        })
+        .expect("resume runs");
+        assert_eq!(
+            replayed,
+            (0..total).map(|i| (i, true)).collect::<Vec<_>>(),
+            "replayed deliveries arrive in run order, flagged"
+        );
+        assert_eq!(resumed.replayed, total);
+        assert_eq!(resumed.summary.to_csv(), report.summary.to_csv());
+        let _ = std::fs::remove_file(&journal);
     }
 
     #[test]

@@ -36,6 +36,10 @@
 //! * [`faults`] — deterministic fault injection (panics, trace I/O
 //!   errors, mid-journal aborts) behind the `fault-injection` cargo
 //!   feature; release builds compile the hooks to nothing.
+//! * [`wire`] — the campaign server's textual formats: strict JSON
+//!   campaign specs whose round-trip preserves the resume fingerprint,
+//!   and the NDJSON result records [`execute_observed`] streams to
+//!   subscribers.
 //!
 //! ## Example
 //!
@@ -67,12 +71,14 @@ pub mod faults;
 pub mod runner;
 pub mod spec;
 pub mod trace;
+pub mod wire;
 
 pub use aggregate::{parse_summary_csv, CampaignAggregator, CampaignSummary, SweepKey};
 pub use artifacts::write_atomic;
 pub use checkpoint::{fingerprint, JournalEntry, JournalError};
 pub use executor::{
-    default_workers, execute, execute_resumable, CampaignReport, ExecutionOptions, FailurePolicy,
+    default_workers, execute, execute_observed, execute_resumable, CampaignReport,
+    DeliveryObserver, ExecutionOptions, FailurePolicy,
 };
 pub use runner::{
     record_run_traces, run_spec, CampaignError, FailedRun, RunOutcome, ThreadOutcome,

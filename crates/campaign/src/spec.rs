@@ -89,6 +89,18 @@ impl Scenario {
             Scenario::Attack(kind) => format!("attack-{}", kind.label()),
         }
     }
+
+    /// Parses a [`Scenario::label`] back into its scenario — the inverse
+    /// used when campaign specs arrive over the wire. The explicit
+    /// spelling `attack-double_sided` parses to the same scenario as the
+    /// canonical `attack`; unknown labels return `None`.
+    pub fn from_label(label: &str) -> Option<Scenario> {
+        match label {
+            "no-attack" => Some(Scenario::BenignOnly),
+            "attack" => Some(Scenario::Attack(AttackKind::DoubleSided)),
+            other => AttackKind::from_label(other.strip_prefix("attack-")?).map(Scenario::Attack),
+        }
+    }
 }
 
 /// What a thread runs when no trace file is attached — and, for benign
@@ -464,5 +476,24 @@ mod tests {
             Scenario::Attack(AttackKind::ManySided { sides: 4 }).label(),
             "attack-many_sided_4"
         );
+    }
+
+    #[test]
+    fn scenario_labels_round_trip_through_from_label() {
+        for scenario in [
+            Scenario::BenignOnly,
+            Scenario::Attack(AttackKind::DoubleSided),
+            Scenario::Attack(AttackKind::SingleSided),
+            Scenario::Attack(AttackKind::ManySided { sides: 4 }),
+        ] {
+            assert_eq!(Scenario::from_label(&scenario.label()), Some(scenario));
+        }
+        // The explicit attack spelling normalizes to the canonical form.
+        assert_eq!(
+            Scenario::from_label("attack-double_sided"),
+            Some(Scenario::Attack(AttackKind::DoubleSided))
+        );
+        assert_eq!(Scenario::from_label("benign"), None);
+        assert_eq!(Scenario::from_label("attack-unknown"), None);
     }
 }

@@ -14,7 +14,8 @@
 //!   and scheduler hot paths) must not allocate;
 //! * **panic-freedom** — no `unwrap`/`expect`/`panic!` escape hatches
 //!   outside tests;
-//! * **thread-discipline** — threads are created only in `sim::pool`;
+//! * **thread-discipline** — threads are created only in `sim::pool`
+//!   and the campaign server's thread layer (`server::serve`);
 //! * **recovery-discipline** — `catch_unwind`/`resume_unwind` only at
 //!   the sanctioned isolation boundaries (`sim::pool`,
 //!   `campaign::executor`);
@@ -58,6 +59,7 @@ pub const PRODUCT_CRATES: &[&str] = &[
     "workloads",
     "sim",
     "campaign",
+    "server",
 ];
 
 /// Locates the workspace root by walking up from `start` to the first
@@ -186,7 +188,7 @@ mod tests {
         let manifests = workspace_member_manifests(&root).unwrap();
         assert!(manifests.iter().all(|m| m.is_file()));
         assert!(
-            manifests.len() >= 19,
+            manifests.len() >= 20,
             "expected every workspace member, got {}",
             manifests.len()
         );

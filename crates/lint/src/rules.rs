@@ -90,10 +90,11 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: THREAD_DISCIPLINE,
-        summary: "thread creation only inside sim::pool",
+        summary: "thread creation only at the sanctioned spawn sites",
         detail: "thread::spawn, thread::scope and thread::Builder are banned outside \
-                 crates/sim/src/pool.rs, so all parallelism flows through the \
-                 deterministic worker pool.",
+                 crates/sim/src/pool.rs (the deterministic worker pool) and \
+                 crates/server/src/serve.rs (the campaign server's accept/executor \
+                 threads, which never touch simulated state directly).",
     },
     RuleInfo {
         id: RECOVERY_DISCIPLINE,
@@ -127,8 +128,11 @@ const PARALLELISM_ALLOWLIST: &[&str] = &[
     "crates/campaign/src/executor.rs",
 ];
 
-/// The one file allowed to create threads.
-const THREAD_ALLOWLIST: &[&str] = &["crates/sim/src/pool.rs"];
+/// The files allowed to create threads: the deterministic worker pool,
+/// and the campaign server's thread layer (acceptor, per-connection
+/// handlers, executor) — service plumbing that hands all simulation
+/// work to the pool-backed campaign executor.
+const THREAD_ALLOWLIST: &[&str] = &["crates/sim/src/pool.rs", "crates/server/src/serve.rs"];
 
 /// Files allowed to catch or re-raise unwinds: the worker pool (worker
 /// death recovery) and the campaign executor (per-run isolation).
@@ -498,7 +502,8 @@ fn check_thread_discipline(path: &str, line_no: usize, code: &str, out: &mut Vec
                 line: line_no,
                 rule: THREAD_DISCIPLINE,
                 message: format!(
-                    "`{token}` outside sim::pool; route parallelism through the worker pool"
+                    "`{token}` outside the sanctioned spawn sites (sim::pool, \
+                     server::serve); route parallelism through the worker pool"
                 ),
             });
         }

@@ -150,6 +150,39 @@ fn thread_discipline_fixture_fires_once_outside_pool() {
 }
 
 #[test]
+fn thread_discipline_allows_serve_but_flags_the_rest_of_server() {
+    // A two-file `server` crate: the sanctioned spawn site
+    // (`src/serve.rs`) spawns cleanly, while the same spawn in
+    // `src/router.rs` — one directory over — still fires.
+    let fixture = Fixture::new(
+        "thread-server",
+        "server",
+        "pub mod router;\npub mod serve;\n",
+    );
+    let src = fixture.root.join("crates/server/src");
+    fs::write(
+        src.join("serve.rs"),
+        "pub fn acceptor() {\n\
+         \x20   std::thread::spawn(|| {}).join().ok();\n\
+         }\n",
+    )
+    .expect("write serve fixture");
+    fs::write(
+        src.join("router.rs"),
+        "pub fn sneaky() {\n\
+         \x20   std::thread::spawn(|| {}).join().ok();\n\
+         }\n",
+    )
+    .expect("write router fixture");
+    assert_single(
+        &fixture,
+        THREAD_DISCIPLINE,
+        "crates/server/src/router.rs",
+        2,
+    );
+}
+
+#[test]
 fn recovery_discipline_fixture_fires_once_outside_the_boundaries() {
     let fixture = Fixture::new(
         "recovery-discipline",

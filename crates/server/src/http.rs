@@ -1,0 +1,536 @@
+//! A deliberately minimal HTTP/1.1 codec on `std::net`.
+//!
+//! The campaign server needs exactly four verbs of HTTP: read one
+//! request, write one sized response, write one chunked (streaming)
+//! response, and — for its test clients and `bh-submit` — do the same
+//! from the other side. No keep-alive (every response carries
+//! `Connection: close`), no TLS, no compression: the server binds
+//! loopback by default and its clients are the repo's own tooling, so
+//! the codec optimizes for being *obviously* correct and bounded.
+//! Request framing is belt-and-braces: the request line and each header
+//! line are capped at [`MAX_LINE`] bytes, at most [`MAX_HEADERS`]
+//! headers are accepted, and bodies are only read via `Content-Length`
+//! up to [`MAX_BODY`] — anything outside those bounds is refused before
+//! it is buffered.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request/status/header line (bytes).
+pub const MAX_LINE: u64 = 8 * 1024;
+/// Most headers accepted per message.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body (bytes) — generous for a campaign
+/// spec, far below anything that could pressure memory.
+pub const MAX_BODY: u64 = 4 * 1024 * 1024;
+
+/// Shorthand for a malformed-message error.
+fn bad(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// One line, bounded by [`MAX_LINE`], with the trailing CRLF stripped.
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    let read = reader.by_ref().take(MAX_LINE).read_line(&mut line)?;
+    if read == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-message",
+        ));
+    }
+    if !line.ends_with('\n') {
+        return Err(bad(format!("line exceeds {MAX_LINE} bytes or is torn")));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Header block: `name: value` lines until the blank separator, names
+/// lowercased (HTTP header names are case-insensitive), values trimmed.
+fn read_headers(reader: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("header line without `:`: `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+}
+
+/// First value of header `name` (lowercase) in `headers`.
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/campaigns/0123abcd…/results`.
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless a `Content-Length` announced one).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, &name.to_ascii_lowercase())
+    }
+}
+
+/// Reads one request from the connection, enforcing the codec bounds.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for anything malformed or oversized
+/// (the router answers those with `400`); other kinds for transport
+/// failures.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Request> {
+    let line = read_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_owned(), p.to_owned(), v),
+        _ => return Err(bad(format!("malformed request line `{line}`"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(format!("unsupported protocol `{version}`")));
+    }
+    let headers = read_headers(reader)?;
+    let mut body = Vec::new();
+    if let Some(length) = header(&headers, "content-length") {
+        let length: u64 = length
+            .parse()
+            .map_err(|_| bad(format!("bad content-length `{length}`")))?;
+        if length > MAX_BODY {
+            return Err(bad(format!("body of {length} bytes exceeds {MAX_BODY}")));
+        }
+        reader.by_ref().take(length).read_to_end(&mut body)?;
+        if body.len() as u64 != length {
+            return Err(bad("body shorter than its content-length"));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// One sized response, always `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers (name, value), written verbatim.
+    pub extra: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.extra.push((name.to_owned(), value.into()));
+        self
+    }
+
+    /// Writes the complete response (status line, headers,
+    /// `Content-Length`-framed body) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// A chunked (`Transfer-Encoding: chunked`) streaming response body:
+/// the campaign server sends one chunk per NDJSON record, flushed
+/// immediately, so clients observe results as runs finish.
+pub struct ChunkedWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn begin(mut out: W, status: u16, content_type: &str) -> io::Result<Self> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+        )?;
+        out.flush()?;
+        Ok(Self { out })
+    }
+
+    /// Writes one chunk and flushes it (empty input writes nothing: an
+    /// empty chunk would terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.out, "{:x}\r\n", data.len())?;
+        self.out.write_all(data)?;
+        self.out.write_all(b"\r\n")?;
+        self.out.flush()
+    }
+
+    /// Terminates the stream (zero-length chunk) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.write_all(b"0\r\n\r\n")?;
+        self.out.flush()
+    }
+}
+
+/// The client half of the codec: enough HTTP to submit campaigns and
+/// consume streamed results from tests and `bh-submit`. Loopback-scale
+/// and synchronous by design.
+pub mod client {
+    use super::{bad, header, read_headers, read_line};
+    use std::io::{self, BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    /// One complete client-side response (chunked bodies are reassembled).
+    #[derive(Debug)]
+    pub struct ClientResponse {
+        /// Status code.
+        pub status: u16,
+        /// Headers in arrival order, names lowercased.
+        pub headers: Vec<(String, String)>,
+        /// The (de-chunked) body.
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// First value of header `name` (case-insensitive).
+        pub fn header(&self, name: &str) -> Option<&str> {
+            header(&self.headers, &name.to_ascii_lowercase())
+        }
+
+        /// The body as UTF-8.
+        ///
+        /// # Errors
+        ///
+        /// [`io::ErrorKind::InvalidData`] when it is not.
+        pub fn utf8(&self) -> io::Result<&str> {
+            std::str::from_utf8(&self.body).map_err(|_| bad("response body is not UTF-8"))
+        }
+    }
+
+    /// Writes a request head (plus `Content-Length`-framed body) to
+    /// `out`.
+    fn write_request(
+        out: &mut impl Write,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<()> {
+        write!(
+            out,
+            "{method} {path} HTTP/1.1\r\nHost: bh-serve\r\nConnection: close\r\n\
+             Content-Length: {}\r\n",
+            body.len()
+        )?;
+        for (name, value) in headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(body)?;
+        out.flush()
+    }
+
+    /// Status line (`HTTP/1.1 200 OK`) → status code.
+    fn read_status(reader: &mut impl BufRead) -> io::Result<u16> {
+        let line = read_line(reader)?;
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some(version), Some(status)) if version.starts_with("HTTP/1.") => status
+                .parse()
+                .map_err(|_| bad(format!("bad status in `{line}`"))),
+            _ => Err(bad(format!("malformed status line `{line}`"))),
+        }
+    }
+
+    /// One hex chunk-size line.
+    fn read_chunk_size(reader: &mut impl BufRead) -> io::Result<u64> {
+        let line = read_line(reader)?;
+        // Ignore chunk extensions (`;…`), which we never send anyway.
+        let size = line.split(';').next().unwrap_or("").trim();
+        u64::from_str_radix(size, 16).map_err(|_| bad(format!("bad chunk size `{line}`")))
+    }
+
+    /// Reads a chunked body, handing each raw chunk to `sink`.
+    fn read_chunks(
+        reader: &mut impl BufRead,
+        sink: &mut dyn FnMut(&[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        loop {
+            let size = read_chunk_size(reader)?;
+            if size == 0 {
+                // Trailer section: headerless in our codec, so just the
+                // final blank line.
+                let trailer = read_line(reader)?;
+                if !trailer.is_empty() {
+                    return Err(bad("unexpected trailer after final chunk"));
+                }
+                return Ok(());
+            }
+            let mut chunk = Vec::new();
+            reader.by_ref().take(size).read_to_end(&mut chunk)?;
+            if chunk.len() as u64 != size {
+                return Err(bad("chunk shorter than its size line"));
+            }
+            let crlf = read_line(reader)?;
+            if !crlf.is_empty() {
+                return Err(bad("chunk not terminated by CRLF"));
+            }
+            sink(&chunk)?;
+        }
+    }
+
+    /// Performs one request and reads the complete response
+    /// (de-chunking if needed).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`io::ErrorKind::InvalidData`] for
+    /// responses this codec cannot frame.
+    pub fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let stream = TcpStream::connect(addr)?;
+        write_request(&mut &stream, method, path, headers, body)?;
+        let mut reader = BufReader::new(&stream);
+        let status = read_status(&mut reader)?;
+        let headers = read_headers(&mut reader)?;
+        let mut out = Vec::new();
+        if header(&headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            read_chunks(&mut reader, &mut |chunk| {
+                out.extend_from_slice(chunk);
+                Ok(())
+            })?;
+        } else if let Some(length) = header(&headers, "content-length") {
+            let length: u64 = length
+                .parse()
+                .map_err(|_| bad(format!("bad content-length `{length}`")))?;
+            reader.by_ref().take(length).read_to_end(&mut out)?;
+            if out.len() as u64 != length {
+                return Err(bad("body shorter than its content-length"));
+            }
+        } else {
+            reader.read_to_end(&mut out)?;
+        }
+        Ok(ClientResponse {
+            status,
+            headers,
+            body: out,
+        })
+    }
+
+    /// `GET`s `path` and delivers each NDJSON line of the streamed body
+    /// to `on_line` as soon as its bytes arrive (not when the stream
+    /// ends) — the consumption side of the server's one-chunk-per-record
+    /// contract. Returns the status code; on non-`200` the body is
+    /// discarded and no lines are delivered.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed framing, or non-UTF-8 lines.
+    pub fn stream(
+        addr: &str,
+        path: &str,
+        on_line: &mut dyn FnMut(&str) -> io::Result<()>,
+    ) -> io::Result<u16> {
+        let stream = TcpStream::connect(addr)?;
+        write_request(&mut &stream, "GET", path, &[], &[])?;
+        let mut reader = BufReader::new(&stream);
+        let status = read_status(&mut reader)?;
+        let headers = read_headers(&mut reader)?;
+        if status != 200 {
+            return Ok(status);
+        }
+        if !header(&headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            return Err(bad("streamed endpoint did not answer chunked"));
+        }
+        let mut pending: Vec<u8> = Vec::new();
+        read_chunks(&mut reader, &mut |chunk| {
+            pending.extend_from_slice(chunk);
+            while let Some(at) = pending.iter().position(|&b| b == b'\n') {
+                let rest = pending.split_off(at + 1);
+                let line = std::mem::replace(&mut pending, rest);
+                let text = std::str::from_utf8(&line[..at]).map_err(|_| bad("non-UTF-8 line"))?;
+                on_line(text)?;
+            }
+            Ok(())
+        })?;
+        if !pending.is_empty() {
+            let text = std::str::from_utf8(&pending).map_err(|_| bad("non-UTF-8 line"))?;
+            on_line(text)?;
+        }
+        Ok(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn requests_parse_with_lowercased_headers_and_bodies() {
+        let raw = b"POST /campaigns HTTP/1.1\r\nHost: x\r\nX-Campaign-Fingerprint: 00ff\r\n\
+                    Content-Length: 4\r\n\r\nbody";
+        let request = read_request(&mut BufReader::new(&raw[..])).expect("parses");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/campaigns");
+        assert_eq!(request.header("x-campaign-fingerprint"), Some("00ff"));
+        assert_eq!(request.header("X-Campaign-Fingerprint"), Some("00ff"));
+        assert_eq!(request.body, b"body");
+    }
+
+    #[test]
+    fn malformed_requests_are_invalid_data() {
+        let cases: &[&[u8]] = &[
+            b"GET\r\n\r\n",
+            b"GET / HTTP/2\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ];
+        for raw in cases {
+            let error = read_request(&mut BufReader::new(*raw)).expect_err("refused");
+            assert!(
+                matches!(
+                    error.kind(),
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                ),
+                "{error}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_before_buffering() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let error = read_request(&mut BufReader::new(raw.as_bytes())).expect_err("refused");
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sized_responses_frame_and_chunked_streams_reassemble() {
+        let mut wire = Vec::new();
+        Response::json(201, "{\"ok\":true}")
+            .with_header("Location", "/campaigns/abc")
+            .write_to(&mut wire)
+            .expect("writes");
+        let text = String::from_utf8(wire).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Location: /campaigns/abc\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut wire = Vec::new();
+        let mut writer =
+            ChunkedWriter::begin(&mut wire, 200, "application/x-ndjson").expect("begins");
+        writer.chunk(b"line one\n").expect("chunk");
+        writer.chunk(b"").expect("empty chunk is a no-op");
+        writer.chunk(b"line two\n").expect("chunk");
+        writer.finish().expect("finishes");
+        let text = String::from_utf8(wire).expect("utf8");
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("9\r\nline one\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

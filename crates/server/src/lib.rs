@@ -1,0 +1,35 @@
+//! # server
+//!
+//! `bh-serve`: campaign-as-a-service. A long-running process that
+//! accepts [`campaign::CampaignSpec`]s over HTTP/1.1 (`POST
+//! /campaigns`), executes them through the campaign engine with
+//! checkpoint journals, and streams per-run NDJSON results to any
+//! number of clients (`GET /campaigns/<id>/results`) — with the same
+//! determinism contract as batch execution: the records a client
+//! streams and the final CSV/JSON artifacts are byte-identical to what
+//! `campaign::execute_resumable` writes locally, *including* across a
+//! `SIGKILL` and restart of the server mid-campaign (the PR 8 journal
+//! skips finished runs on resume).
+//!
+//! Everything is hand-rolled on `std::net` — no async runtime, no HTTP
+//! dependency: the protocol surface a campaign server needs (five
+//! routes, chunked streaming, `Connection: close`) is small enough that
+//! a bounded, obviously-correct codec ([`http`]) beats a framework this
+//! build environment could not fetch anyway.
+//!
+//! Module map: [`http`] the codec (+ [`http::client`] for `bh-submit`
+//! and tests), [`queue`] the bounded admission queue, [`registry`]
+//! per-campaign state and streamed record lines, `router` (private) the
+//! request handlers, [`serve`] the threads, recovery scan, and
+//! [`Server`] lifecycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod queue;
+pub mod registry;
+mod router;
+pub mod serve;
+
+pub use serve::{request_shutdown, shutdown_requested, Server, ServerConfig};

@@ -1,0 +1,186 @@
+//! The bounded submission queue between the accept side and the
+//! executor.
+//!
+//! Admission control is the queue: `POST /campaigns` calls
+//! [`JobQueue::submit`], and a full queue is answered `503` with
+//! `Retry-After` instead of buffering unboundedly — a campaign server
+//! that accepted every submission would just move the out-of-memory
+//! crash from the client to the journal directory. Jobs recovered from
+//! disk on restart bypass the bound ([`JobQueue::enqueue_unbounded`]):
+//! they were admitted by a previous life of the server and refusing
+//! them would drop accepted work.
+//!
+//! Closing the queue ([`JobQueue::close`]) makes [`JobQueue::pop`]
+//! return `None` *immediately*, even with jobs still queued — shutdown
+//! must be bounded by the in-flight campaign, not the backlog, and
+//! queued campaigns persist on disk (`spec.json`), so the next start
+//! re-admits them.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The queue is at capacity: back off and retry.
+    Full,
+    /// The server is shutting down.
+    Closed,
+}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer job queue (mutex +
+/// condvar; the consumer is the executor thread).
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue admitting at most `capacity` queued jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A poisoned queue mutex means a panic while holding it; the
+        // state (a VecDeque and a flag) cannot be torn by any panic
+        // here, so continuing is sound and keeps the server serving.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits `job` if there is room.
+    ///
+    /// # Errors
+    ///
+    /// [`Reject::Full`] at capacity, [`Reject::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn submit(&self, job: T) -> Result<(), Reject> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(Reject::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(Reject::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// Admits `job` regardless of capacity — restart recovery only:
+    /// the job was accepted by a previous life of this server.
+    ///
+    /// # Errors
+    ///
+    /// [`Reject::Closed`] after [`JobQueue::close`].
+    pub fn enqueue_unbounded(&self, job: T) -> Result<(), Reject> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(Reject::Closed);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (returning it) or the queue is
+    /// closed (returning `None` at once, even with jobs still queued —
+    /// see the module docs).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            state = self
+                .wake
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Closes the queue: every pending and future [`JobQueue::pop`]
+    /// returns `None`, every future submission is rejected.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn submissions_bound_at_capacity_and_fifo() {
+        let queue = JobQueue::new(2);
+        assert_eq!(queue.submit(1), Ok(()));
+        assert_eq!(queue.submit(2), Ok(()));
+        assert_eq!(queue.submit(3), Err(Reject::Full));
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.capacity(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.submit(3), Ok(()));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn recovery_enqueue_ignores_the_bound() {
+        let queue = JobQueue::new(1);
+        assert_eq!(queue.enqueue_unbounded(1), Ok(()));
+        assert_eq!(queue.enqueue_unbounded(2), Ok(()));
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.submit(3), Err(Reject::Full));
+    }
+
+    #[test]
+    fn close_unblocks_pop_and_discards_backlog() {
+        let queue = Arc::new(JobQueue::<u32>::new(4));
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the popper a chance to block, then close with a job
+        // racing in: pop must return None promptly either way.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(popper.join().expect("popper exits"), None);
+        assert_eq!(queue.submit(7), Err(Reject::Closed));
+        assert_eq!(queue.enqueue_unbounded(7), Err(Reject::Closed));
+        // A closed queue drains to None even if jobs were queued first.
+        let queue = JobQueue::new(4);
+        assert_eq!(queue.submit(1), Ok(()));
+        queue.close();
+        assert_eq!(queue.pop(), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Request routing: one connection, one request, one response.
+//!
+//! The API surface (all responses `Connection: close`):
+//!
+//! | method & path | response |
+//! |---|---|
+//! | `GET /healthz` | queue depth/capacity, executor liveness |
+//! | `GET /campaigns` | status array, ordered by id |
+//! | `POST /campaigns` | admit a spec: `201` (admitted), `200` (already known), `400` (refused), `503` + `Retry-After` (queue full / shutting down) |
+//! | `GET /campaigns/<id>` | status document |
+//! | `GET /campaigns/<id>/results` | chunked NDJSON stream, one record per finished run, live until the campaign is terminal |
+//! | `GET /campaigns/<id>/artifacts/<csv\|json\|stepping>` | final artifacts (404 until written) |
+//!
+//! Admission is where the wire-format contract is enforced: the spec
+//! must parse under the strict [`campaign::wire`] rules, must survive
+//! its own serialize→parse round trip with an unchanged fingerprint
+//! (a spec whose fingerprint drifts across the wire could resume the
+//! wrong journal), and — when the client sends an
+//! `X-Campaign-Fingerprint` header — must hash to exactly what the
+//! client computed.
+
+use crate::http::{read_request, ChunkedWriter, Request, Response};
+use crate::queue::Reject;
+use crate::registry::{CampaignState, Phase};
+use crate::serve::Shared;
+use campaign::checkpoint::fingerprint;
+use campaign::wire;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a streaming connection waits for new records before
+/// re-checking the server's shutdown flag.
+const STREAM_POLL: Duration = Duration::from_millis(200);
+
+/// Serves one connection start to finish. Transport errors are
+/// swallowed: they affect exactly this client, and the server has no
+/// channel left to report them on.
+pub(crate) fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = serve_one(shared, &stream);
+}
+
+fn serve_one(shared: &Shared, stream: &TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(error) if error.kind() == io::ErrorKind::InvalidData => {
+            return Response::text(400, format!("{error}\n")).write_to(&mut &*stream);
+        }
+        Err(error) => return Err(error),
+    };
+    route(shared, &request, stream)
+}
+
+fn route(shared: &Shared, request: &Request, stream: &TcpStream) -> io::Result<()> {
+    let path = request.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    let sized = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["campaigns"]) => list(shared),
+        ("POST", ["campaigns"]) => submit(shared, request),
+        ("GET", ["campaigns", id]) => {
+            with_campaign(shared, id, |state| Response::json(200, state.status_json()))
+        }
+        ("GET", ["campaigns", id, "results"]) => {
+            return match shared.registry.get(id) {
+                Some(state) => stream_results(shared, &state, stream),
+                None => not_found(id).write_to(&mut &*stream),
+            };
+        }
+        ("GET", ["campaigns", id, "artifacts", artifact]) => {
+            with_campaign(shared, id, |state| serve_artifact(shared, state, artifact))
+        }
+        ("POST" | "GET", _) => Response::text(404, "no such endpoint\n"),
+        _ => Response::text(405, "method not allowed\n"),
+    };
+    sized.write_to(&mut &*stream)
+}
+
+fn not_found(id: &str) -> Response {
+    Response::text(404, format!("no campaign `{id}`\n"))
+}
+
+fn with_campaign(
+    shared: &Shared,
+    id: &str,
+    respond: impl FnOnce(&CampaignState) -> Response,
+) -> Response {
+    match shared.registry.get(id) {
+        Some(state) => respond(&state),
+        None => not_found(id),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        format!(
+            concat!(
+                "{{\"status\":\"ok\",\"queue_depth\":{},\"queue_capacity\":{},",
+                "\"executor_alive\":{},\"campaigns\":{},\"stopping\":{}}}"
+            ),
+            shared.queue.depth(),
+            shared.queue.capacity(),
+            shared.executor_alive.load(Ordering::SeqCst),
+            shared.registry.len(),
+            shared.stopping(),
+        ),
+    )
+}
+
+fn list(shared: &Shared) -> Response {
+    let statuses: Vec<String> = shared
+        .registry
+        .list()
+        .iter()
+        .map(|state| state.status_json())
+        .collect();
+    Response::json(200, format!("[{}]", statuses.join(",")))
+}
+
+/// Admission. See the module docs for the contract.
+fn submit(shared: &Shared, request: &Request) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::text(400, "spec must be UTF-8 JSON\n");
+    };
+    let spec = match wire::spec_from_json(text) {
+        Ok(spec) => spec,
+        Err(error) => return Response::text(400, format!("spec refused: {error}\n")),
+    };
+    if spec.run_count() > shared.config.max_runs {
+        return Response::text(
+            400,
+            format!(
+                "campaign expands to {} runs, over this server's limit of {}\n",
+                spec.run_count(),
+                shared.config.max_runs
+            ),
+        );
+    }
+    let fp = fingerprint(&spec);
+    // The spec must survive its own round trip with the fingerprint
+    // intact: this is what guarantees the journal the server keys by
+    // `fp` describes exactly the campaign the client asked for.
+    match wire::spec_from_json(&wire::spec_to_json(&spec)) {
+        Ok(echoed) if fingerprint(&echoed) == fp => {}
+        Ok(_) => {
+            return Response::text(
+                400,
+                "spec refused: fingerprint changes across the wire round trip\n",
+            )
+        }
+        Err(error) => {
+            return Response::text(
+                400,
+                format!("spec refused: does not round-trip ({error})\n"),
+            )
+        }
+    }
+    if let Some(claimed) = request.header("x-campaign-fingerprint") {
+        if u64::from_str_radix(claimed.trim(), 16) != Ok(fp) {
+            return Response::text(
+                400,
+                format!(
+                    "client fingerprint {claimed} does not match server fingerprint {fp:016x}\n"
+                ),
+            );
+        }
+    }
+    let id = format!("{fp:016x}");
+    // One admission at a time: idempotence check, spec persistence and
+    // enqueue must not interleave between concurrent submitters.
+    let guard = shared
+        .submit_lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = shared.registry.get(&id) {
+        drop(guard);
+        return Response::json(200, existing.status_json())
+            .with_header("Location", format!("/campaigns/{id}"));
+    }
+    // Durably record the admission before acknowledging it: a server
+    // killed after the 201 will find spec.json and re-admit on restart.
+    let dir = shared.campaign_dir(&id);
+    if let Err(error) = campaign::write_atomic(&dir.join("spec.json"), wire::spec_to_json(&spec)) {
+        drop(guard);
+        return Response::text(500, format!("persisting spec: {error}\n"));
+    }
+    let state = CampaignState::new(id.clone(), spec, Phase::Queued);
+    match shared.queue.submit(Arc::clone(&state)) {
+        Ok(()) => {
+            let state = shared.registry.insert(state);
+            drop(guard);
+            Response::json(201, state.status_json())
+                .with_header("Location", format!("/campaigns/{id}"))
+        }
+        Err(reject) => {
+            // Undo the persisted admission so a restart does not revive
+            // a submission the client was told to retry.
+            let _ = std::fs::remove_file(dir.join("spec.json"));
+            let _ = std::fs::remove_dir(&dir);
+            drop(guard);
+            let why = match reject {
+                Reject::Full => "queue full",
+                Reject::Closed => "server shutting down",
+            };
+            Response::text(503, format!("{why}, retry later\n")).with_header("Retry-After", "1")
+        }
+    }
+}
+
+/// Streams the campaign's NDJSON records as they are recorded, closing
+/// when the campaign is terminal (or the server shuts down).
+fn stream_results(
+    shared: &Shared,
+    state: &Arc<CampaignState>,
+    stream: &TcpStream,
+) -> io::Result<()> {
+    let mut out = stream;
+    let mut writer = ChunkedWriter::begin(&mut out, 200, "application/x-ndjson")?;
+    let mut seen = 0usize;
+    loop {
+        let (lines, phase) = state.wait_progress(seen, STREAM_POLL);
+        for line in &lines {
+            writer.chunk(format!("{line}\n").as_bytes())?;
+        }
+        seen += lines.len();
+        if lines.is_empty() && (phase.is_terminal() || shared.stopping()) {
+            break;
+        }
+    }
+    writer.finish()
+}
+
+/// Serves a final artifact from disk. `campaign.json` is written last,
+/// so every artifact a client can fetch is complete.
+fn serve_artifact(shared: &Shared, state: &CampaignState, artifact: &str) -> Response {
+    let (file, content_type) = match artifact {
+        "csv" => ("campaign.csv", "text/csv; charset=utf-8"),
+        "json" => ("campaign.json", "application/json"),
+        "stepping" => ("stepping.csv", "text/csv; charset=utf-8"),
+        other => return Response::text(404, format!("no artifact `{other}`\n")),
+    };
+    match std::fs::read(shared.campaign_dir(&state.id).join(file)) {
+        Ok(bytes) => Response {
+            status: 200,
+            content_type,
+            extra: Vec::new(),
+            body: bytes,
+        },
+        Err(_) => Response::text(
+            404,
+            format!(
+                "artifact `{artifact}` not written yet (phase: {})\n",
+                state.phase().label()
+            ),
+        ),
+    }
+}

@@ -75,6 +75,24 @@ impl DefenseKind {
         }
     }
 
+    /// Parses a [`DefenseKind::label`] back into its kind — the inverse
+    /// used when campaign specs arrive over the wire. Returns `None` for
+    /// unknown labels.
+    pub fn from_label(label: &str) -> Option<DefenseKind> {
+        match label {
+            "Baseline" => Some(DefenseKind::Baseline),
+            "PARA" => Some(DefenseKind::Para),
+            "PRoHIT" => Some(DefenseKind::ProHit),
+            "MRLoc" => Some(DefenseKind::MrLoc),
+            "CBT" => Some(DefenseKind::Cbt),
+            "TWiCe" => Some(DefenseKind::TwiCe),
+            "Graphene" => Some(DefenseKind::Graphene),
+            "BlockHammer" => Some(DefenseKind::BlockHammer),
+            "BlockHammer(observe)" => Some(DefenseKind::BlockHammerObserve),
+            _ => None,
+        }
+    }
+
     /// Builds the defense for the given RowHammer threshold and geometry.
     ///
     /// `t_refi_cycles` paces the mechanisms that piggyback on refresh
@@ -174,7 +192,9 @@ mod tests {
         ] {
             let defense = kind.build(RowHammerThreshold::new(32_768), geometry, 24_960, 1);
             assert!(!defense.name().is_empty());
+            assert_eq!(DefenseKind::from_label(kind.label()), Some(kind));
         }
+        assert_eq!(DefenseKind::from_label("blockhammer"), None);
     }
 
     #[test]

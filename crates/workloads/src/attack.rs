@@ -49,6 +49,21 @@ impl AttackKind {
         }
     }
 
+    /// Parses a [`AttackKind::label`] back into its kind — the inverse
+    /// used when campaign specs arrive over the wire. `many_sided_<n>`
+    /// carries its side count; a zero count (which no constructor
+    /// produces) and unknown labels return `None`.
+    pub fn from_label(label: &str) -> Option<AttackKind> {
+        match label {
+            "double_sided" => Some(AttackKind::DoubleSided),
+            "single_sided" => Some(AttackKind::SingleSided),
+            other => {
+                let sides: u32 = other.strip_prefix("many_sided_")?.parse().ok()?;
+                (sides > 0).then_some(AttackKind::ManySided { sides })
+            }
+        }
+    }
+
     /// Builds the trace generator for this kind of attack.
     ///
     /// # Panics
@@ -380,6 +395,20 @@ mod tests {
         assert_eq!(AttackKind::SingleSided.label(), "single_sided");
         assert_eq!(AttackKind::ManySided { sides: 6 }.label(), "many_sided_6");
         assert_eq!(AttackKind::default(), AttackKind::DoubleSided);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for kind in [
+            AttackKind::DoubleSided,
+            AttackKind::SingleSided,
+            AttackKind::ManySided { sides: 6 },
+        ] {
+            assert_eq!(AttackKind::from_label(&kind.label()), Some(kind));
+        }
+        assert_eq!(AttackKind::from_label("many_sided_0"), None);
+        assert_eq!(AttackKind::from_label("many_sided_x"), None);
+        assert_eq!(AttackKind::from_label("rowpress"), None);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! `bh-submit`: submit a campaign to a running `bh-serve` and stream
+//! its results.
+//!
+//! ```text
+//! bh-submit addr HOST:PORT [spec smoke] [clients N] [out DIR] [compare]
+//! ```
+//!
+//! * `addr` — the server (default `127.0.0.1:7878`).
+//! * `spec smoke` — which campaign to submit (only the built-in smoke
+//!   campaign for now; it is the CI reference workload).
+//! * `clients N` — stream the results over N concurrent connections
+//!   (default 2) and require every one of them to receive identical
+//!   bytes.
+//! * `out DIR` — write the streamed NDJSON and the fetched artifacts.
+//! * `compare` — execute the same spec locally through the batch engine
+//!   first and fail (exit 1) unless the server's streamed records *and*
+//!   final artifacts are byte-identical to the batch run. This is the
+//!   CI "campaign server smoke" gate.
+//!
+//! Prints the measured concurrent-client streaming throughput.
+
+use campaign::checkpoint::fingerprint;
+use campaign::{execute_observed, wire, CampaignSpec, ExecutionOptions};
+use server::http::client;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    spec: CampaignSpec,
+    clients: usize,
+    out: Option<PathBuf>,
+    compare: bool,
+}
+
+fn parse_args(words: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_owned(),
+        spec: CampaignSpec::smoke(),
+        clients: 2,
+        out: None,
+        compare: false,
+    };
+    let mut iter = words.iter();
+    while let Some(key) = iter.next() {
+        match key.as_str() {
+            "compare" => args.compare = true,
+            "addr" | "spec" | "clients" | "out" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("`{key}` needs a value"))?;
+                match key.as_str() {
+                    "addr" => args.addr = value.clone(),
+                    "spec" => {
+                        if value != "smoke" {
+                            return Err(format!("unknown spec `{value}` (only: smoke)"));
+                        }
+                    }
+                    "clients" => {
+                        args.clients = value
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or_else(|| format!("bad client count `{value}`"))?;
+                    }
+                    _ => args.out = Some(PathBuf::from(value)),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (usage: bh-submit addr HOST:PORT \
+                     [spec smoke] [clients N] [out DIR] [compare])"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("bh-submit: {message}");
+    ExitCode::FAILURE
+}
+
+/// Waits until the server's `/healthz` answers.
+fn await_healthy(addr: &str) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match client::request(addr, "GET", "/healthz", &[], &[]) {
+            Ok(response) if response.status == 200 => return Ok(()),
+            _ if Instant::now() >= deadline => {
+                return Err(format!("no healthy server at {addr} after 30s"));
+            }
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// One streaming connection: collects every NDJSON record line.
+fn stream_all(addr: &str, id: &str) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let status = client::stream(addr, &format!("/campaigns/{id}/results"), &mut |line| {
+        lines.push(line.to_owned());
+        Ok(())
+    })
+    .map_err(|e| format!("streaming results: {e}"))?;
+    if status != 200 {
+        return Err(format!("streaming results: HTTP {status}"));
+    }
+    Ok(lines)
+}
+
+fn main() -> ExitCode {
+    let words: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&words) {
+        Ok(args) => args,
+        Err(message) => return fail(message),
+    };
+    let spec = args.spec;
+    let id = format!("{:016x}", fingerprint(&spec));
+
+    // The local reference, if we are the CI gate.
+    let reference = if args.compare {
+        let mut lines = Vec::new();
+        let report = match execute_observed(
+            &spec,
+            spec.expand(),
+            0,
+            &ExecutionOptions::default(),
+            &mut |entry, _| lines.push(wire::entry_to_ndjson(entry)),
+        ) {
+            Ok(report) => report,
+            Err(error) => return fail(format!("batch reference: {error}")),
+        };
+        println!(
+            "bh-submit: batch reference executed ({} records)",
+            lines.len()
+        );
+        Some((lines, report))
+    } else {
+        None
+    };
+
+    if let Err(message) = await_healthy(&args.addr) {
+        return fail(message);
+    }
+    let body = wire::spec_to_json(&spec);
+    let response = match client::request(
+        &args.addr,
+        "POST",
+        "/campaigns",
+        &[("x-campaign-fingerprint", &id)],
+        body.as_bytes(),
+    ) {
+        Ok(response) => response,
+        Err(error) => return fail(format!("submitting campaign: {error}")),
+    };
+    if response.status != 201 && response.status != 200 {
+        return fail(format!(
+            "campaign refused: HTTP {} — {}",
+            response.status,
+            response.utf8().unwrap_or("")
+        ));
+    }
+    println!(
+        "bh-submit: campaign {id} admitted (HTTP {}), streaming on {} client(s)",
+        response.status, args.clients
+    );
+
+    // Stream on N concurrent connections and time them collectively.
+    let started = Instant::now();
+    let streams: Vec<Result<Vec<String>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| scope.spawn(|| stream_all(&args.addr, &id)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("stream panicked".to_owned()))
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut lines: Option<Vec<String>> = None;
+    for stream in streams {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(message) => return fail(message),
+        };
+        match &lines {
+            None => lines = Some(stream),
+            Some(first) if *first == stream => {}
+            Some(_) => return fail("concurrent clients streamed different bytes"),
+        }
+    }
+    let lines = lines.unwrap_or_default();
+    let delivered = lines.len() * args.clients;
+    println!(
+        "bh-submit: {} records x {} clients in {:.2}s ({:.1} records/s streamed)",
+        lines.len(),
+        args.clients,
+        wall.as_secs_f64(),
+        delivered as f64 / wall.as_secs_f64().max(1e-9),
+    );
+
+    // Fetch the final artifacts.
+    let mut artifacts = Vec::new();
+    for name in ["csv", "json", "stepping"] {
+        let response = match client::request(
+            &args.addr,
+            "GET",
+            &format!("/campaigns/{id}/artifacts/{name}"),
+            &[],
+            &[],
+        ) {
+            Ok(response) => response,
+            Err(error) => return fail(format!("fetching artifact {name}: {error}")),
+        };
+        if response.status != 200 {
+            return fail(format!("artifact {name}: HTTP {}", response.status));
+        }
+        artifacts.push((name, response.body));
+    }
+
+    if let Some((expected_lines, report)) = &reference {
+        if &lines != expected_lines {
+            return fail("streamed records differ from the batch reference");
+        }
+        for (name, bytes) in &artifacts {
+            let expected = match *name {
+                "csv" => report.summary.to_csv(),
+                "json" => report.summary.to_json(),
+                _ => report.stepping_csv(),
+            };
+            if bytes != expected.as_bytes() {
+                return fail(format!("artifact {name} differs from the batch reference"));
+            }
+        }
+        println!("bh-submit: streamed records and artifacts are byte-identical to batch");
+    }
+
+    if let Some(out) = &args.out {
+        if let Err(error) = std::fs::create_dir_all(out) {
+            return fail(format!("creating {}: {error}", out.display()));
+        }
+        let mut ndjson = lines.join("\n");
+        if !ndjson.is_empty() {
+            ndjson.push('\n');
+        }
+        if let Err(error) = campaign::write_atomic(&out.join("results.ndjson"), &ndjson) {
+            return fail(format!("writing results.ndjson: {error}"));
+        }
+        for (name, bytes) in &artifacts {
+            let file = match *name {
+                "csv" => "campaign.csv",
+                "json" => "campaign.json",
+                _ => "stepping.csv",
+            };
+            let text = String::from_utf8_lossy(bytes).into_owned();
+            if let Err(error) = campaign::write_atomic(&out.join(file), &text) {
+                return fail(format!("writing {file}: {error}"));
+            }
+        }
+        println!(
+            "bh-submit: wrote results and artifacts to {}",
+            out.display()
+        );
+    }
+    ExitCode::SUCCESS
+}

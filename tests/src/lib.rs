@@ -54,3 +54,26 @@ pub fn resume_campaign() -> campaign::CampaignSpec {
     spec.scale.min_cycles = 20_000;
     spec
 }
+
+/// The 4-run smoke campaign the campaign-server tests submit over HTTP.
+/// Distinct name (and therefore fingerprint/campaign id) from
+/// [`resume_campaign`], so the two kill/resume suites never share a
+/// journal.
+pub fn serve_campaign() -> campaign::CampaignSpec {
+    let mut spec = resume_campaign();
+    spec.name = "serve-smoke".to_owned();
+    spec
+}
+
+/// A deliberately slow single-run campaign (lockstep stepping, a long
+/// minimum-cycle floor) that keeps the server's executor busy while the
+/// backpressure test fills the admission queue behind it.
+pub fn serve_slow_campaign() -> campaign::CampaignSpec {
+    let mut spec = serve_campaign();
+    spec.name = "serve-slow".to_owned();
+    spec.scenarios = vec![campaign::Scenario::BenignOnly];
+    spec.defenses = vec![sim::DefenseKind::Baseline];
+    spec.scale.advance = sim::AdvanceMode::Lockstep;
+    spec.scale.min_cycles = 2_000_000;
+    spec
+}

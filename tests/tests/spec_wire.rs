@@ -1,0 +1,190 @@
+//! Property tests on the campaign wire format: a [`CampaignSpec`] must
+//! survive serialize → parse with its fields *and its fingerprint*
+//! intact, for any spec the generators can produce. The fingerprint is
+//! the campaign server's identity (campaign id, journal key), so a spec
+//! whose fingerprint drifted across the wire would resume the wrong
+//! journal — the server refuses such specs, and this suite pins that
+//! they cannot exist in the first place.
+
+use campaign::checkpoint::fingerprint;
+use campaign::{wire, CampaignSpec, RunScale, Scenario};
+use proptest::prelude::*;
+use sim::{AdvanceMode, DefenseKind};
+use workloads::AttackKind;
+
+/// Every scenario label the wire format can carry, including the
+/// non-default attack shapes.
+const SCENARIOS: &[Scenario] = &[
+    Scenario::BenignOnly,
+    Scenario::Attack(AttackKind::DoubleSided),
+    Scenario::Attack(AttackKind::SingleSided),
+    Scenario::Attack(AttackKind::ManySided { sides: 4 }),
+    Scenario::Attack(AttackKind::ManySided { sides: 19 }),
+];
+
+/// Every defense label, exercising the parenthesised
+/// `BlockHammer(observe)` spelling too.
+const DEFENSES: &[DefenseKind] = &[
+    DefenseKind::Baseline,
+    DefenseKind::Para,
+    DefenseKind::ProHit,
+    DefenseKind::MrLoc,
+    DefenseKind::Cbt,
+    DefenseKind::TwiCe,
+    DefenseKind::Graphene,
+    DefenseKind::BlockHammer,
+    DefenseKind::BlockHammerObserve,
+];
+
+/// Names that stress the JSON string escaper: quotes, backslashes,
+/// control characters and multi-byte UTF-8.
+const NAMES: &[&str] = &[
+    "smoke",
+    "fig4-sweep",
+    "name with spaces",
+    "quote\"inside",
+    "back\\slash",
+    "tab\there",
+    "newline\nin name",
+    "unicode-\u{9b3c}\u{2603}-mix",
+];
+
+/// Builds a spec from sampled axis selections. `scenario_mask` and
+/// `defense_mask` pick non-empty subsets of the label tables.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    name_pick: usize,
+    mix_count: usize,
+    threads_per_mix: usize,
+    scenario_mask: usize,
+    defense_mask: usize,
+    n_rh: Vec<u64>,
+    channel_exps: Vec<u32>,
+    seed: u64,
+    lockstep: bool,
+    normalize: bool,
+) -> CampaignSpec {
+    let scenarios: Vec<Scenario> = SCENARIOS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| scenario_mask & (1 << i) != 0)
+        .map(|(_, s)| *s)
+        .collect();
+    let defenses: Vec<DefenseKind> = DEFENSES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| defense_mask & (1 << i) != 0)
+        .map(|(_, d)| *d)
+        .collect();
+    CampaignSpec {
+        name: NAMES[name_pick % NAMES.len()].to_owned(),
+        mix_count,
+        threads_per_mix,
+        scenarios,
+        defenses,
+        n_rh_points: n_rh,
+        channel_counts: channel_exps.iter().map(|e| 1usize << e).collect(),
+        scale: RunScale {
+            advance: if lockstep {
+                AdvanceMode::Lockstep
+            } else {
+                AdvanceMode::EventDriven
+            },
+            ..RunScale::quick()
+        },
+        seed,
+        normalize,
+    }
+}
+
+proptest! {
+    /// serialize → parse is the identity on the spec *and* on its
+    /// fingerprint, across every axis label, tricky names, both stepping
+    /// modes and arbitrary seeds.
+    #[test]
+    fn spec_round_trips_with_fingerprint_intact(
+        name_pick in 0usize..8,
+        mix_count in 1usize..6,
+        threads_per_mix in 2usize..9,
+        scenario_mask in 1usize..32,
+        defense_mask in 1usize..512,
+        n_rh in proptest::collection::vec(1u64..100_000, 1..5),
+        channel_exps in proptest::collection::vec(0u32..5, 1..4),
+        seed in 0u64..u64::MAX,
+        flags in 0u32..4,
+    ) {
+        let spec = build_spec(
+            name_pick,
+            mix_count,
+            threads_per_mix,
+            scenario_mask,
+            defense_mask,
+            n_rh,
+            channel_exps,
+            seed,
+            flags & 1 != 0,
+            flags & 2 != 0,
+        );
+        let wire_text = wire::spec_to_json(&spec);
+        let echoed = wire::spec_from_json(&wire_text)
+            .expect("canonical serialization must parse");
+        prop_assert_eq!(&echoed, &spec);
+        prop_assert_eq!(fingerprint(&echoed), fingerprint(&spec));
+        // The canonical form is a fixed point: re-serializing yields the
+        // same bytes, so servers and clients agree on one rendering.
+        prop_assert_eq!(wire::spec_to_json(&echoed), wire_text);
+    }
+}
+
+/// Per-field corruption changes the fingerprint: no two distinct specs
+/// the server could admit share a campaign id (for these single-field
+/// edits — full collision resistance is the hash's job).
+#[test]
+fn fingerprint_distinguishes_every_field() {
+    let base = CampaignSpec::smoke();
+    let fp = fingerprint(&base);
+    let mut variants: Vec<CampaignSpec> = Vec::new();
+    let mut v = base.clone();
+    v.name.push('!');
+    variants.push(v);
+    let mut v = base.clone();
+    v.mix_count += 1;
+    variants.push(v);
+    let mut v = base.clone();
+    v.threads_per_mix += 1;
+    variants.push(v);
+    let mut v = base.clone();
+    v.scenarios = vec![Scenario::BenignOnly];
+    variants.push(v);
+    let mut v = base.clone();
+    v.defenses.push(DefenseKind::Para);
+    variants.push(v);
+    let mut v = base.clone();
+    v.n_rh_points = vec![1024];
+    variants.push(v);
+    let mut v = base.clone();
+    v.channel_counts = vec![2];
+    variants.push(v);
+    let mut v = base.clone();
+    v.scale.min_cycles += 1;
+    variants.push(v);
+    let mut v = base.clone();
+    v.scale.advance = AdvanceMode::Lockstep;
+    variants.push(v);
+    let mut v = base.clone();
+    v.seed ^= 1;
+    variants.push(v);
+    let mut v = base.clone();
+    v.normalize = !v.normalize;
+    variants.push(v);
+    for variant in variants {
+        assert_ne!(
+            fingerprint(&variant),
+            fp,
+            "fingerprint must see the edit in {variant:?}"
+        );
+        // And the edited spec still round-trips to itself.
+        let echoed = wire::spec_from_json(&wire::spec_to_json(&variant)).unwrap();
+        assert_eq!(echoed, variant);
+    }
+}
