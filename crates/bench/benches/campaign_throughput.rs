@@ -6,8 +6,12 @@
 //! incremental aggregation). Divide 1e9 by the reported ns/iter and
 //! multiply by the run count for runs/sec.
 
-use campaign::{execute, execute_resumable, CampaignSpec, ExecutionOptions};
+use campaign::{
+    execute, execute_resumable, CampaignReport, CampaignSpec, ExecutionOptions, RunSpec,
+    SchedulerMode,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
+use sim::AdvanceMode;
 use std::hint::black_box;
 use std::path::PathBuf;
 
@@ -45,6 +49,50 @@ fn run_journaled_campaign(journal: &PathBuf) -> usize {
     report.outcomes.len()
 }
 
+/// The long-tail shape that separates the schedulers: run 0 is a
+/// saturated lockstep attack run (the tail), every other run is
+/// idle-heavy and finishes quickly under event-driven stepping. Under
+/// slot-pinned dispatch the tail's slot also owns every later run
+/// congruent to it; work-stealing lets the other workers drain the idle
+/// runs while one worker carries the tail. Normalization is off so the
+/// comparison isolates dispatch, not the prelude.
+fn skewed_campaign() -> (CampaignSpec, Vec<RunSpec>) {
+    let mut spec = CampaignSpec::smoke();
+    spec.name = "bench-longtail".to_owned();
+    spec.normalize = false;
+    let mut runs = spec.expand();
+    for (i, run) in runs.iter_mut().enumerate() {
+        if i == 0 {
+            run.scale.advance = AdvanceMode::Lockstep;
+            run.scale.benign_instructions = 2_000;
+            run.scale.min_cycles = 60_000;
+        } else {
+            run.scale.benign_instructions = 100;
+            run.scale.min_cycles = 20_000;
+        }
+    }
+    (spec, runs)
+}
+
+fn run_skewed(workers: usize, scheduler: SchedulerMode) -> CampaignReport {
+    let (spec, runs) = skewed_campaign();
+    let total = runs.len();
+    let options = ExecutionOptions {
+        scheduler,
+        ..Default::default()
+    };
+    let report = execute_resumable(&spec, runs, workers, &options).expect("skewed campaign runs");
+    assert_eq!(report.outcomes.len(), total);
+    report
+}
+
+/// The three strategies the long-tail benchmark compares.
+const LONGTAIL_MODES: [(&str, usize, SchedulerMode); 3] = [
+    ("longtail_sequential_8_runs", 0, SchedulerMode::Stealing),
+    ("longtail_pinned_2w_8_runs", 2, SchedulerMode::SlotPinned),
+    ("longtail_stealing_2w_8_runs", 2, SchedulerMode::Stealing),
+];
+
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
@@ -61,7 +109,32 @@ fn bench_throughput(c: &mut Criterion) {
         b.iter(|| black_box(run_journaled_campaign(&journal)))
     });
     let _ = std::fs::remove_file(&journal);
+    for (label, workers, scheduler) in LONGTAIL_MODES {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_skewed(workers, scheduler).outcomes.len()))
+        });
+    }
     group.finish();
+    // One decorated pass per long-tail mode, outside the timed loops:
+    // runs/sec plus per-worker utilization (busy time / campaign wall),
+    // the numbers ROADMAP.md records for the scheduler comparison.
+    for (label, workers, scheduler) in LONGTAIL_MODES {
+        let report = run_skewed(workers, scheduler);
+        let wall = report.wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        let utilization: Vec<String> = report
+            .scheduling
+            .workers
+            .iter()
+            .map(|w| format!("{:.0}%", 100.0 * (w.busy.as_secs_f64() / wall).min(1.0)))
+            .collect();
+        println!(
+            "{label}: {:.2} runs/sec ({} scheduler, reorder high-water {}, utilization [{}])",
+            report.runs_per_sec().unwrap_or(0.0),
+            report.scheduling.scheduler,
+            report.scheduling.reorder_high_water,
+            utilization.join(", ")
+        );
+    }
 }
 
 criterion_group!(benches, bench_throughput);

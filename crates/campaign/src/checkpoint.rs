@@ -686,6 +686,129 @@ pub fn resume_or_create(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Prelude cache
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of the prelude cache (`"BHPC"`, BlockHammer Prelude
+/// Cache).
+const PRELUDE_MAGIC: [u8; 4] = *b"BHPC";
+/// Prelude cache format version.
+const PRELUDE_VERSION: u8 = 1;
+
+/// Fingerprint of a normalization prelude: the campaign fields that
+/// influence a stand-alone IPC measurement (scale, advance mode, seed)
+/// plus the sorted (workload name, channel count) key list. Defense and
+/// attack axes deliberately do *not* participate — the references are
+/// measured on the unprotected baseline with the benign workload alone,
+/// so two campaigns differing only in those axes share a cache.
+pub fn prelude_fingerprint(spec: &CampaignSpec, keys: &[(String, usize)]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash = mix_u64(hash, spec.scale.time_scale);
+    hash = mix_u64(hash, spec.scale.benign_instructions);
+    hash = mix_u64(hash, spec.scale.llc_bytes);
+    hash = mix_u64(hash, spec.scale.min_cycles);
+    hash = mix_u64(hash, spec.scale.max_cycles);
+    hash = mix_u64(
+        hash,
+        match spec.scale.advance {
+            AdvanceMode::Lockstep => 0,
+            AdvanceMode::EventDriven => 1,
+        },
+    );
+    hash = mix_u64(hash, spec.seed);
+    hash = mix_u64(hash, keys.len() as u64);
+    for (name, channels) in keys {
+        hash = mix_bytes(hash, name.as_bytes());
+        hash = mix_u64(hash, *channels as u64);
+    }
+    hash
+}
+
+/// Reads the prelude cache at `path`, returning its sorted
+/// `(workload, channels, alone IPC)` entries only when the whole file
+/// is intact *and* its stored fingerprint equals `fingerprint`. Any
+/// mismatch, truncation or corruption returns `None`: the cache is an
+/// optimization, so the worst a bad file can cost is one recomputed
+/// prelude, never a wrong table.
+pub fn load_prelude_cache(path: &Path, fingerprint: u64) -> Option<Vec<(String, usize, f64)>> {
+    let bytes = std::fs::read(path).ok()?;
+    // magic + version + fingerprint + entry count + trailing checksum.
+    let header_len = 4 + 1 + 8 + 8;
+    if bytes.len() < header_len + 8 || bytes[..4] != PRELUDE_MAGIC || bytes[4] != PRELUDE_VERSION {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let mut checksum = [0u8; 8];
+    checksum.copy_from_slice(&bytes[bytes.len() - 8..]);
+    if fnv1a(body, FNV_OFFSET) != u64::from_le_bytes(checksum) {
+        return None;
+    }
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(&bytes[5..13]);
+    if u64::from_le_bytes(stored) != fingerprint {
+        return None;
+    }
+    let mut count = [0u8; 8];
+    count.copy_from_slice(&bytes[13..21]);
+    let count = usize::try_from(u64::from_le_bytes(count)).ok()?;
+    if count > body.len() {
+        // Each entry needs several payload bytes; a count beyond the
+        // body length is corrupt, not a huge allocation.
+        return None;
+    }
+    let mut cursor = PayloadCursor {
+        bytes: &body[header_len..],
+        at: 0,
+    };
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = cursor.string().ok()?;
+        let channels = cursor.usize().ok()?;
+        let ipc = cursor.f64().ok()?;
+        if let Some(&(ref last_name, last_channels, _)) = entries.last() {
+            // The executor binary-searches this table: refuse an
+            // unsorted (or duplicated) file rather than missing lookups.
+            if (last_name, last_channels) >= (&name, channels) {
+                return None;
+            }
+        }
+        entries.push((name, channels, ipc));
+    }
+    if cursor.at != body.len() - header_len {
+        return None;
+    }
+    Some(entries)
+}
+
+/// Writes the prelude cache (atomically, via the same staging-rename as
+/// every artifact): header, length-delimited entries, FNV-1a trailer.
+/// `entries` must be sorted by (name, channels) — the order
+/// [`load_prelude_cache`] enforces.
+///
+/// # Errors
+///
+/// Propagates I/O errors (callers treat them as "no cache this time").
+pub fn store_prelude_cache(
+    path: &Path,
+    fingerprint: u64,
+    entries: &[(String, usize, f64)],
+) -> io::Result<()> {
+    let mut out = Vec::with_capacity(64 + entries.len() * 32);
+    out.extend_from_slice(&PRELUDE_MAGIC);
+    out.push(PRELUDE_VERSION);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (name, channels, ipc) in entries {
+        push_str(&mut out, name);
+        push_varint(&mut out, *channels as u64);
+        push_f64(&mut out, *ipc);
+    }
+    let checksum = fnv1a(&out, FNV_OFFSET);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    crate::artifacts::write_atomic(path, &out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

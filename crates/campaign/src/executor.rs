@@ -7,18 +7,31 @@
 //!    distinct (benign workload, channel count) pair is run stand-alone
 //!    under the no-mitigation baseline, producing the alone-IPC reference
 //!    table the paper's multiprogrammed metrics divide by. The prelude
-//!    runs sequentially — its values feed every run, so keeping it
-//!    trivially order-independent keeps the whole campaign's output
-//!    independent of the worker count.
+//!    jobs are independent of each other, so they fan out over the same
+//!    worker pool as the run matrix; the finished table is keyed and
+//!    stored *sorted*, so its contents are identical for every worker
+//!    count. With a journal configured, the table is also cached on disk
+//!    next to it (`<journal stem>.prelude`, keyed by a fingerprint over
+//!    the workload names, channel counts, scale and seed), so resumed
+//!    and re-submitted campaigns skip re-simulating the references
+//!    entirely — observable as [`PreludeStats::from_cache`].
 //! 2. **The run matrix**: every [`RunSpec`], either on the calling
-//!    thread (`workers <= 1`) or fanned out over a
-//!    [`sim::WorkerPool`](sim::pool::WorkerPool) of `workers` persistent
-//!    threads. Jobs are dispatched round-robin and collected strictly in
-//!    run order, so outcomes stream back — and fold into the
-//!    [`CampaignAggregator`] — in exactly the sequential order no matter
-//!    which worker finishes first. Sequential and pooled execution of
-//!    the same campaign therefore emit byte-identical CSV/JSON (pinned
-//!    by `tests/tests/campaign_determinism.rs`).
+//!    thread (`workers <= 1`) or fanned out over `workers` persistent
+//!    threads under one of two [`SchedulerMode`]s. The default
+//!    [`SchedulerMode::Stealing`] pushes runs into the shared injector
+//!    queue of a [`StealingPool`](sim::pool::queue::StealingPool) —
+//!    idle workers pull the next run the moment they finish, so no
+//!    worker ever waits behind a long run — and completions, which
+//!    arrive in *finish* order, pass through a reorder buffer that
+//!    releases them strictly in run order. [`SchedulerMode::SlotPinned`]
+//!    keeps the older discipline: round-robin dispatch to fixed
+//!    [`sim::WorkerPool`](sim::pool::WorkerPool) slots, collection
+//!    strictly in run order. Either way outcomes stream back — and fold
+//!    into the [`CampaignAggregator`] — in exactly the sequential order
+//!    no matter which worker finishes first, so sequential, slot-pinned
+//!    and work-stealing execution of the same campaign emit
+//!    byte-identical CSV/JSON/journal/NDJSON (pinned by
+//!    `tests/tests/campaign_determinism.rs`).
 //!
 //! # Fault tolerance
 //!
@@ -50,13 +63,17 @@ use crate::aggregate::{escape_json, CampaignAggregator, CampaignSummary};
 use crate::checkpoint::{self, JournalEntry, JournalError, JournalWriter};
 use crate::runner::{run_spec, CampaignError, FailedRun, RunOutcome};
 use crate::spec::{CampaignSpec, RunSpec, ThreadGenerator};
+use sim::pool::queue::{Outcome, StealingPool, WorkerTally};
 use sim::pool::{Collected, WorkerPool};
 use sim::{DefenseKind, SystemBuilder};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use workloads::SyntheticSpec;
+
+pub use sim::pool::queue::WorkerSnapshot;
 
 /// What the executor does with a run that fails (panics inside the
 /// simulator or returns an error).
@@ -83,6 +100,44 @@ pub enum FailurePolicy {
     },
 }
 
+/// How pooled execution (`workers >= 2`) hands runs to its workers.
+/// Both modes deliver results in strict run order and emit
+/// byte-identical artifacts; they differ only in throughput under
+/// skewed run durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Pull-based: runs queue in a shared injector, idle workers take
+    /// the next one immediately, and a reorder buffer restores run
+    /// order at delivery. The default — a long run blocks only the
+    /// worker executing it.
+    #[default]
+    Stealing,
+    /// Push-based: run `i` is pinned to slot `i % workers` and
+    /// collected in run order. A long run head-of-line-blocks its slot
+    /// and the collection loop; kept for comparison benchmarks and as
+    /// the conservative fallback.
+    SlotPinned,
+}
+
+impl SchedulerMode {
+    /// Stable lowercase label (CLI argument values, CSV/JSON output).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerMode::Stealing => "stealing",
+            SchedulerMode::SlotPinned => "pinned",
+        }
+    }
+
+    /// Parses a [`SchedulerMode::label`] back.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "stealing" => Some(SchedulerMode::Stealing),
+            "pinned" | "slot-pinned" => Some(SchedulerMode::SlotPinned),
+            _ => None,
+        }
+    }
+}
+
 /// Knobs of [`execute_resumable`] beyond the worker count.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionOptions {
@@ -90,8 +145,47 @@ pub struct ExecutionOptions {
     pub policy: FailurePolicy,
     /// When set, every delivered result is appended to the checkpoint
     /// journal at this path (created on first use), and execution
-    /// resumes after any runs the journal already holds.
+    /// resumes after any runs the journal already holds. Also enables
+    /// the on-disk prelude cache at `<path stem>.prelude`.
     pub journal: Option<PathBuf>,
+    /// How pooled execution schedules runs onto workers.
+    pub scheduler: SchedulerMode,
+}
+
+/// Normalization-prelude accounting for one invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreludeStats {
+    /// Distinct (benign workload, channel count) reference pairs the
+    /// campaign needed.
+    pub references: usize,
+    /// References simulated by this invocation.
+    pub computed: usize,
+    /// References loaded from the on-disk prelude cache instead of
+    /// simulated.
+    pub from_cache: usize,
+}
+
+/// Scheduling telemetry for one invocation: who did the work and how
+/// out-of-order it came back. Serialized as `scheduling.csv`
+/// ([`CampaignReport::scheduling_csv`]) and into the server's status
+/// document ([`crate::wire::scheduling_json`]). Deliberately *not* part
+/// of the byte-identity contract — its contents are wall-clock- and
+/// worker-dependent by construction, like `stepping.csv`'s are
+/// advance-mode-dependent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionStats {
+    /// `"sequential"`, `"pinned"` or `"stealing"`.
+    pub scheduler: &'static str,
+    /// Per-worker tallies, in worker-index order (empty when
+    /// sequential).
+    pub workers: Vec<WorkerSnapshot>,
+    /// Most completions the reorder buffer ever held at once. 0 when
+    /// nothing was buffered (sequential or slot-pinned execution);
+    /// 1 means completions arrived perfectly in run order; larger
+    /// values measure how far ahead fast workers ran.
+    pub reorder_high_water: usize,
+    /// Normalization-prelude accounting.
+    pub prelude: PreludeStats,
 }
 
 /// Everything a finished campaign hands back.
@@ -113,6 +207,9 @@ pub struct CampaignReport {
     pub wall: Duration,
     /// Worker threads used (0 = sequential on the calling thread).
     pub workers: usize,
+    /// Scheduling telemetry (worker tallies, reorder-buffer high-water
+    /// mark, prelude cache accounting).
+    pub scheduling: ExecutionStats,
 }
 
 impl CampaignReport {
@@ -203,6 +300,33 @@ impl CampaignReport {
         }
         csv
     }
+
+    /// Scheduling telemetry as a `metric,value` CSV — `stepping.csv`'s
+    /// sibling `scheduling.csv`. Like the stepping counters, this
+    /// artifact is *not* byte-stable across worker counts or scheduler
+    /// modes (busy times are wall-clock; steal counts depend on finish
+    /// order); the stable artifacts are `campaign.csv`/`campaign.json`.
+    pub fn scheduling_csv(&self) -> String {
+        let s = &self.scheduling;
+        let mut csv = String::from("metric,value\n");
+        csv.push_str(&format!("scheduler,{}\n", s.scheduler));
+        csv.push_str(&format!("workers,{}\n", self.workers));
+        csv.push_str(&format!("reorder_high_water,{}\n", s.reorder_high_water));
+        csv.push_str(&format!("prelude_references,{}\n", s.prelude.references));
+        csv.push_str(&format!("prelude_computed,{}\n", s.prelude.computed));
+        csv.push_str(&format!("prelude_from_cache,{}\n", s.prelude.from_cache));
+        let wall = self.wall.as_secs_f64().max(1e-9);
+        for (i, worker) in s.workers.iter().enumerate() {
+            csv.push_str(&format!("worker_{i}_jobs,{}\n", worker.jobs));
+            csv.push_str(&format!("worker_{i}_steals,{}\n", worker.steals));
+            csv.push_str(&format!("worker_{i}_busy_us,{}\n", worker.busy.as_micros()));
+            csv.push_str(&format!(
+                "worker_{i}_utilization,{:.4}\n",
+                (worker.busy.as_secs_f64() / wall).min(1.0)
+            ));
+        }
+        csv
+    }
 }
 
 /// A sensible default worker count for [`execute`] on this machine: all
@@ -212,55 +336,199 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(0, |n| n.get().saturating_sub(1))
 }
 
-/// The stand-alone IPC reference of every distinct (benign workload,
-/// channel count) pair appearing in `runs`, measured on the unprotected
-/// baseline at the campaign's scale — the denominator of the paper's
-/// weighted/harmonic speedups.
-fn alone_ipc_table(campaign: &CampaignSpec, runs: &[RunSpec]) -> HashMap<(String, usize), f64> {
-    // Deterministic job list: first-appearance order over the ordered
-    // run list.
-    let mut jobs: Vec<((String, usize), SyntheticSpec)> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
+/// The stand-alone IPC reference table: one entry per distinct (benign
+/// workload, channel count) pair, sorted by that pair so lookups run on
+/// *borrowed* keys (a binary search over `(&str, usize)`) — attaching
+/// references to the paper-scale 250-mix matrix allocates nothing per
+/// run.
+struct AloneIpcTable {
+    /// `(workload name, channels, alone IPC)`, sorted by the key pair.
+    entries: Vec<(String, usize, f64)>,
+}
+
+impl AloneIpcTable {
+    fn get(&self, name: &str, channels: usize) -> Option<f64> {
+        self.entries
+            .binary_search_by(|(n, c, _)| (n.as_str(), *c).cmp(&(name, channels)))
+            .ok()
+            .map(|at| self.entries[at].2)
+    }
+}
+
+/// One queued prelude measurement: a workload run stand-alone on the
+/// unprotected baseline.
+struct PreludeJob {
+    name: String,
+    channels: usize,
+    spec: SyntheticSpec,
+    /// Filled by the measurement.
+    ipc: f64,
+}
+
+/// Runs one prelude job at the campaign's scale.
+fn measure_alone_ipc(campaign: &CampaignSpec, job: &PreludeJob) -> f64 {
+    let scale = campaign.scale;
+    let result = SystemBuilder::new()
+        .time_scale(scale.time_scale)
+        .llc_capacity(scale.llc_bytes)
+        .seed(campaign.seed)
+        .max_cycles(scale.max_cycles)
+        .min_cycles(scale.min_cycles)
+        .channels(job.channels)
+        .defense(DefenseKind::Baseline)
+        .advance_mode(scale.advance)
+        .add_workload(job.spec.clone(), scale.benign_instructions)
+        .run();
+    result.threads[0].ipc
+}
+
+/// Builds the stand-alone IPC reference table for `runs`, preferring the
+/// on-disk prelude cache (when `cache` names one and its fingerprint
+/// matches) and otherwise measuring every pair — fanned out over
+/// `workers` pool threads when pooling is on, since the jobs are
+/// mutually independent and the table is sorted regardless of
+/// completion order. A freshly measured table is written back to the
+/// cache (best-effort: a failed write costs only the next invocation's
+/// prelude time).
+fn alone_ipc_table(
+    campaign: &CampaignSpec,
+    runs: &[RunSpec],
+    workers: usize,
+    cache: Option<&Path>,
+    stats: &mut PreludeStats,
+) -> AloneIpcTable {
+    // Deduplicate straight into sorted order: one owned key per
+    // *distinct* pair, never one per run.
+    let mut jobs: Vec<PreludeJob> = Vec::new();
     for run in runs {
         for thread in run.benign_threads() {
             let ThreadGenerator::Synthetic(spec) = &thread.generator else {
                 continue;
             };
-            let key = (thread.name.clone(), run.channels);
-            if seen.insert(key.clone()) {
-                jobs.push((key, spec.clone()));
+            let key = (thread.name.as_str(), run.channels);
+            match jobs.binary_search_by(|job| (job.name.as_str(), job.channels).cmp(&key)) {
+                Ok(_) => {}
+                Err(at) => jobs.insert(
+                    at,
+                    PreludeJob {
+                        name: thread.name.clone(),
+                        channels: run.channels,
+                        spec: spec.clone(),
+                        ipc: 0.0,
+                    },
+                ),
             }
         }
     }
-    let scale = campaign.scale;
-    jobs.into_iter()
-        .map(|((name, channels), spec)| {
-            let result = SystemBuilder::new()
-                .time_scale(scale.time_scale)
-                .llc_capacity(scale.llc_bytes)
-                .seed(campaign.seed)
-                .max_cycles(scale.max_cycles)
-                .min_cycles(scale.min_cycles)
-                .channels(channels)
-                .defense(DefenseKind::Baseline)
-                .advance_mode(scale.advance)
-                .add_workload(spec, scale.benign_instructions)
-                .run();
-            ((name, channels), result.threads[0].ipc)
-        })
-        .collect()
+    stats.references = jobs.len();
+    // One owned key pair per distinct reference (not per run) — these
+    // outlive the jobs, which move into the pool below.
+    let keys: Vec<(String, usize)> = jobs.iter().map(|j| (j.name.clone(), j.channels)).collect();
+    let fingerprint = checkpoint::prelude_fingerprint(campaign, &keys);
+    if let Some(path) = cache {
+        if let Some(entries) = checkpoint::load_prelude_cache(path, fingerprint) {
+            // The fingerprint covers the key list, so a match should
+            // imply identical keys; verify anyway before trusting it.
+            let matches = entries.len() == keys.len()
+                && entries
+                    .iter()
+                    .zip(keys.iter())
+                    .all(|((n, c, _), (name, channels))| n == name && c == channels);
+            if matches {
+                stats.from_cache = entries.len();
+                return AloneIpcTable { entries };
+            }
+        }
+    }
+    stats.computed = jobs.len();
+    if workers >= 2 && jobs.len() >= 2 {
+        // Fan the measurements over a pull-based pool. Each completion
+        // carries its job's position, so the sorted order is restored by
+        // construction no matter which worker finishes first.
+        let reference = Arc::new(campaign.clone());
+        let measure = {
+            let reference = Arc::clone(&reference);
+            move |job: &mut PreludeJob| {
+                job.ipc = measure_alone_ipc(&reference, job);
+            }
+        };
+        let mut pool: StealingPool<PreludeJob, ()> = StealingPool::new(workers, measure);
+        let mut slots: Vec<Option<PreludeJob>> = Vec::new();
+        for job in jobs.drain(..) {
+            pool.submit(slots.len() as u64, job);
+            slots.push(None);
+        }
+        while let Some(done) = pool.next_completion() {
+            match done.outcome {
+                Outcome::Done(job, ()) => slots[done.seq as usize] = Some(job),
+                // A panicking prelude job falls back to an in-line
+                // measurement below, where the panic (a simulator bug,
+                // not a per-run fault) propagates to the caller.
+                Outcome::Panicked(_) => {}
+            }
+        }
+        jobs = slots
+            .into_iter()
+            .enumerate()
+            .map(|(at, slot)| match slot {
+                Some(job) => job,
+                None => {
+                    let mut job = rebuild_prelude_job(runs, &keys[at]);
+                    job.ipc = measure_alone_ipc(campaign, &job);
+                    job
+                }
+            })
+            .collect();
+    } else {
+        for job in &mut jobs {
+            job.ipc = measure_alone_ipc(campaign, job);
+        }
+    }
+    let entries: Vec<(String, usize, f64)> = jobs
+        .into_iter()
+        .map(|job| (job.name, job.channels, job.ipc))
+        .collect();
+    if let Some(path) = cache {
+        let _ = checkpoint::store_prelude_cache(path, fingerprint, &entries);
+    }
+    AloneIpcTable { entries }
 }
 
-/// Fills every run's `alone_ipc` from the reference table.
-fn attach_alone_ipc(
-    runs: &mut [RunSpec],
-    table: &HashMap<(String, usize), f64>,
-) -> Result<(), CampaignError> {
+/// Re-derives a prelude job from its key pair (the original was
+/// consumed by a panicked pool attempt — the rare path).
+fn rebuild_prelude_job(runs: &[RunSpec], key: &(String, usize)) -> PreludeJob {
+    let (name, channels) = key;
+    for run in runs {
+        if run.channels != *channels {
+            continue;
+        }
+        for thread in run.benign_threads() {
+            if thread.name != *name {
+                continue;
+            }
+            if let ThreadGenerator::Synthetic(spec) = &thread.generator {
+                return PreludeJob {
+                    name: name.clone(),
+                    channels: *channels,
+                    spec: spec.clone(),
+                    ipc: 0.0,
+                };
+            }
+        }
+    }
+    // The key list was built from exactly these runs; reaching here
+    // would mean the run list changed under us mid-call.
+    // lint: allow(panic-freedom) -- keys are derived from `runs` in this same call; the pair must exist
+    unreachable!("prelude key ({name}, {channels}) not found in the run list")
+}
+
+/// Fills every run's `alone_ipc` from the reference table. Lookups use
+/// borrowed keys — no per-run allocation.
+fn attach_alone_ipc(runs: &mut [RunSpec], table: &AloneIpcTable) -> Result<(), CampaignError> {
     for run in runs.iter_mut() {
         let mut alone = Vec::with_capacity(run.threads.len());
         for thread in run.threads.iter().filter(|t| !t.is_attacker) {
-            let key = (thread.name.clone(), run.channels);
-            let Some(&ipc) = table.get(&key) else {
+            let Some(ipc) = table.get(&thread.name, run.channels) else {
                 return Err(CampaignError::Spec {
                     run: run.name.clone(),
                     message: format!("no stand-alone IPC reference for `{}`", thread.name),
@@ -543,10 +811,25 @@ pub fn execute_observed(
         None => (Vec::new(), None),
     };
     let replayed = replay.len();
+    let mut stats = ExecutionStats {
+        scheduler: if workers <= 1 {
+            "sequential"
+        } else {
+            options.scheduler.label()
+        },
+        ..ExecutionStats::default()
+    };
     // The prelude feeds only runs that will actually execute; a resume
     // with nothing left to do (or an unnormalized campaign) skips it.
     if campaign.normalize && replayed < total {
-        let table = alone_ipc_table(campaign, &runs);
+        let cache = options.journal.as_deref().map(prelude_cache_path);
+        let table = alone_ipc_table(
+            campaign,
+            &runs,
+            workers,
+            cache.as_deref(),
+            &mut stats.prelude,
+        );
         attach_alone_ipc(&mut runs, &table)?;
     }
     let mut sink = Sink {
@@ -567,7 +850,14 @@ pub fn execute_observed(
             sink.deliver(delivery)?;
         }
     } else {
-        execute_pooled(tail, workers, options.policy, &mut sink)?;
+        match options.scheduler {
+            SchedulerMode::Stealing => {
+                execute_stealing(tail, workers, options.policy, &mut sink, &mut stats)?;
+            }
+            SchedulerMode::SlotPinned => {
+                execute_pooled(tail, workers, options.policy, &mut sink, &mut stats)?;
+            }
+        }
     }
     Ok(CampaignReport {
         outcomes: sink.outcomes,
@@ -576,26 +866,45 @@ pub fn execute_observed(
         summary: sink.aggregator.finish(),
         wall: started.elapsed(),
         workers: if workers <= 1 { 0 } else { workers },
+        scheduling: stats,
     })
 }
 
-/// The pooled run loop: round-robin dispatch, strict run-order
+/// Where the prelude cache lives for a given journal path: the journal's
+/// sibling with the `prelude` extension (`campaign.journal` →
+/// `campaign.prelude`).
+pub fn prelude_cache_path(journal: &Path) -> PathBuf {
+    journal.with_extension("prelude")
+}
+
+/// The slot-pinned run loop: round-robin dispatch, strict run-order
 /// collection, and slot-level recovery when a worker thread dies.
 fn execute_pooled(
     tail: Vec<RunSpec>,
     workers: usize,
     policy: FailurePolicy,
     sink: &mut Sink<'_>,
+    stats: &mut ExecutionStats,
 ) -> Result<(), CampaignError> {
     let total = tail.len();
-    let mut pool: WorkerPool<(), RunSpec, Result<RunOutcome, String>> =
-        WorkerPool::new(workers, |(), run: &mut RunSpec| {
+    // Shared per-slot tallies: the work closure records into them from
+    // the worker threads, the executor snapshots them at the end.
+    let tallies: Arc<Vec<WorkerTally>> =
+        Arc::new((0..workers).map(|_| WorkerTally::new()).collect());
+    let recorder = Arc::clone(&tallies);
+    let mut pool: WorkerPool<usize, RunSpec, Result<RunOutcome, String>> =
+        WorkerPool::new(workers, move |slot: usize, run: &mut RunSpec| {
             // The isolation boundary lives *inside* the worker: a
             // panicking run reports back as data and the worker thread
             // survives to take the next job. (Panic payloads are
             // flattened to strings here because `RunError` itself need
             // not cross threads.)
-            run_isolated(run).map_err(|error| error.cause_raw())
+            // lint: allow(determinism) -- worker busy-time accounting; never read by simulated state
+            let started = Instant::now();
+            let result = run_isolated(run).map_err(|error| error.cause_raw());
+            // Pinned dispatch never steals: run i is bound to slot i%N.
+            recorder[slot].record(false, started.elapsed());
+            result
         });
     // The executor's own copy of everything currently inside the pool,
     // per slot in dispatch order — what makes a dead worker's jobs
@@ -612,7 +921,7 @@ fn execute_pooled(
             };
             let slot = dispatched % workers;
             inflight[slot].push_back(run.clone());
-            pool.dispatch(slot, (), run);
+            pool.dispatch(slot, slot, run);
             dispatched += 1;
         }
         // Collect strictly in run order: run i always comes back from
@@ -654,12 +963,98 @@ fn execute_pooled(
                 collected += 1;
                 for run in held {
                     inflight[slot].push_back(run.clone());
-                    pool.dispatch(slot, (), run);
+                    pool.dispatch(slot, slot, run);
                 }
             }
         }
     }
+    stats.workers = tallies.iter().map(WorkerTally::snapshot).collect();
     Ok(())
+}
+
+/// The work-stealing run loop: every run goes into the shared injector
+/// queue tagged with its position, completions come back in *finish*
+/// order, and a reorder buffer releases them to the sink strictly in
+/// run order — so the journal, the aggregator and the delivery observer
+/// see exactly the sequential sequence while no worker ever idles
+/// behind a long run. The failure policy is applied at *release* time
+/// (not completion time), which keeps even `Abort`'s journaled prefix
+/// and `Retry`'s attempt ordering byte-identical to sequential
+/// execution.
+fn execute_stealing(
+    tail: Vec<RunSpec>,
+    workers: usize,
+    policy: FailurePolicy,
+    sink: &mut Sink<'_>,
+    stats: &mut ExecutionStats,
+) -> Result<(), CampaignError> {
+    let total = tail.len();
+    let mut pool: StealingPool<RunSpec, Result<RunOutcome, String>> =
+        StealingPool::new(workers, |run: &mut RunSpec| {
+            // Same in-worker isolation boundary as the pinned path: a
+            // panicking run reports back as data. (The pool's own
+            // catch_unwind behind this is the backstop for panics that
+            // escape it — e.g. a poisoned payload drop.)
+            run_isolated(run).map_err(|error| error.cause_raw())
+        });
+    // The executor's own copy of every submitted run: panicked attempts
+    // drop the item they carried, and `resolve` needs the spec for
+    // retries and failure identity.
+    let mut pending: Vec<Option<RunSpec>> = tail.iter().map(|run| Some(run.clone())).collect();
+    for (seq, run) in tail.into_iter().enumerate() {
+        pool.submit(seq as u64, run);
+    }
+    let mut buffer: BTreeMap<usize, Result<RunOutcome, RunError>> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut high_water = 0usize;
+    let mut completed = 0usize;
+    while completed < total {
+        let Some(done) = pool.next_completion() else {
+            return Err(CampaignError::Spec {
+                run: "work-stealing pool".to_owned(),
+                message: format!(
+                    "worker pool shut down with {} of {total} runs outstanding",
+                    total - completed
+                ),
+            });
+        };
+        completed += 1;
+        let seq = done.seq as usize;
+        let first = match done.outcome {
+            Outcome::Done(_, result) => result.map_err(RunError::from_raw_cause),
+            Outcome::Panicked(message) => Err(RunError::Panic(message)),
+        };
+        // Admit the completion out of order; release the contiguous
+        // prefix in strict run order. The buffer bookkeeping itself
+        // never allocates — delivery costs (retries, journaling,
+        // aggregation) live behind `resolve` and `Sink::deliver`.
+        // lint: alloc-free
+        {
+            buffer.insert(seq, first);
+            if buffer.len() > high_water {
+                high_water = buffer.len();
+            }
+            while let Some(first) = buffer.remove(&next) {
+                let spec = take_pending(&mut pending, next)?;
+                let delivery = resolve(&spec, first, policy)?;
+                sink.deliver(delivery)?;
+                next += 1;
+            }
+        }
+    }
+    stats.workers = pool.tallies();
+    stats.reorder_high_water = high_water;
+    Ok(())
+}
+
+/// Claims the executor-side copy of run `at` exactly once; a second
+/// claim means the pool delivered a duplicate completion (impossible by
+/// construction, surfaced as a structured error rather than trusted).
+fn take_pending(pending: &mut [Option<RunSpec>], at: usize) -> Result<RunSpec, CampaignError> {
+    pending[at].take().ok_or_else(|| CampaignError::Spec {
+        run: "work-stealing pool".to_owned(),
+        message: format!("run {at} completed twice"),
+    })
 }
 
 impl RunError {
@@ -729,6 +1124,7 @@ mod tests {
             summary: CampaignAggregator::new("empty").finish(),
             wall: Duration::ZERO,
             workers: 0,
+            scheduling: ExecutionStats::default(),
         };
         assert_eq!(report.runs_per_sec(), None);
         // A fully-replayed resume also executed nothing.
@@ -752,6 +1148,7 @@ mod tests {
             summary: CampaignAggregator::new("replayed").finish(),
             wall: Duration::from_millis(5),
             workers: 0,
+            scheduling: ExecutionStats::default(),
         };
         assert_eq!(replayed.runs_per_sec(), None);
     }
@@ -774,6 +1171,7 @@ mod tests {
             summary: CampaignAggregator::new("t").finish(),
             wall: Duration::ZERO,
             workers: 0,
+            scheduling: ExecutionStats::default(),
         };
         let csv = report.failures_csv();
         assert!(csv.starts_with("index,name,scenario,defense,"));
@@ -842,6 +1240,7 @@ mod tests {
         let options = ExecutionOptions {
             policy: FailurePolicy::Quarantine,
             journal: None,
+            scheduler: SchedulerMode::default(),
         };
         let report = execute_resumable(&campaign, runs, 0, &options).expect("campaign completes");
         assert_eq!(report.outcomes.len(), total - 1);
@@ -873,6 +1272,7 @@ mod tests {
         let options = ExecutionOptions {
             policy: FailurePolicy::Retry { max_attempts: 3 },
             journal: None,
+            scheduler: SchedulerMode::default(),
         };
         let report = execute_resumable(&campaign, runs, 0, &options).expect("campaign completes");
         assert_eq!(
@@ -893,6 +1293,7 @@ mod tests {
         let options = ExecutionOptions {
             policy: FailurePolicy::Abort,
             journal: Some(journal.clone()),
+            scheduler: SchedulerMode::default(),
         };
         let total = campaign.run_count();
         // Fresh execution: every delivery observed in run order, none

@@ -18,12 +18,16 @@
 //!   [`CampaignSpec`] expands {mixes × defenses × `N_RH` points ×
 //!   channel counts} into an ordered [`RunSpec`] list.
 //! * [`executor`] — sequential or pooled execution over persistent
-//!   workers ([`sim::pool::WorkerPool`]) with results streamed back in
-//!   run order, so every worker count emits byte-identical output. Every
-//!   run executes behind an isolation boundary with a configurable
-//!   [`FailurePolicy`] (abort / quarantine / retry), and
-//!   [`execute_resumable`] checkpoints each result so a killed campaign
-//!   resumes where it stopped.
+//!   workers, under a work-stealing scheduler by default
+//!   ([`sim::pool::queue::StealingPool`] feeding a reorder buffer) or
+//!   the slot-pinned [`sim::pool::WorkerPool`]; either way results are
+//!   *delivered* in strict run order, so every worker count and
+//!   [`SchedulerMode`] emits byte-identical output. Every run executes
+//!   behind an isolation boundary with a configurable [`FailurePolicy`]
+//!   (abort / quarantine / retry), [`execute_resumable`] checkpoints
+//!   each result so a killed campaign resumes where it stopped, and the
+//!   normalization prelude fans out over the same pool with an on-disk
+//!   cache next to the journal ([`ExecutionStats`] reports all of it).
 //! * [`checkpoint`] — the append-only, checksummed journal behind
 //!   resume: records completed runs in run order, keyed by a
 //!   [`CampaignSpec`] fingerprint, dropping (never trusting) a torn
@@ -77,8 +81,9 @@ pub use aggregate::{parse_summary_csv, CampaignAggregator, CampaignSummary, Swee
 pub use artifacts::write_atomic;
 pub use checkpoint::{fingerprint, JournalEntry, JournalError};
 pub use executor::{
-    default_workers, execute, execute_observed, execute_resumable, CampaignReport,
-    DeliveryObserver, ExecutionOptions, FailurePolicy,
+    default_workers, execute, execute_observed, execute_resumable, prelude_cache_path,
+    CampaignReport, DeliveryObserver, ExecutionOptions, ExecutionStats, FailurePolicy,
+    PreludeStats, SchedulerMode, WorkerSnapshot,
 };
 pub use runner::{
     record_run_traces, run_spec, CampaignError, FailedRun, RunOutcome, ThreadOutcome,

@@ -839,6 +839,35 @@ pub fn entry_to_ndjson(entry: &JournalEntry) -> String {
     }
 }
 
+/// One-line JSON rendering of [`ExecutionStats`] — the scheduling
+/// fragment the server embeds in its status documents. The scheduler
+/// label needs no escaping (it is one of three fixed identifiers), so
+/// the whole document is assembled by formatting, like the NDJSON
+/// records above.
+pub fn scheduling_json(stats: &crate::ExecutionStats) -> String {
+    let mut workers = String::new();
+    for (i, worker) in stats.workers.iter().enumerate() {
+        if i > 0 {
+            workers.push(',');
+        }
+        workers.push_str(&format!(
+            "{{\"jobs\":{},\"steals\":{},\"busy_us\":{}}}",
+            worker.jobs,
+            worker.steals,
+            worker.busy.as_micros()
+        ));
+    }
+    format!(
+        "{{\"scheduler\":\"{}\",\"reorder_high_water\":{},\"prelude\":{{\"references\":{},\
+         \"computed\":{},\"from_cache\":{}}},\"workers\":[{workers}]}}",
+        stats.scheduler,
+        stats.reorder_high_water,
+        stats.prelude.references,
+        stats.prelude.computed,
+        stats.prelude.from_cache,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,5 +1128,49 @@ mod tests {
     fn identical_entries_render_identical_bytes() {
         let entry = JournalEntry::Outcome(sample_outcome());
         assert_eq!(entry_to_ndjson(&entry), entry_to_ndjson(&entry.clone()));
+    }
+
+    #[test]
+    fn scheduling_json_is_valid_and_carries_every_counter() {
+        let mut stats = crate::ExecutionStats {
+            scheduler: "stealing",
+            reorder_high_water: 3,
+            ..Default::default()
+        };
+        stats.prelude.references = 4;
+        stats.prelude.from_cache = 4;
+        stats.workers = vec![
+            crate::WorkerSnapshot {
+                jobs: 5,
+                steals: 2,
+                busy: std::time::Duration::from_micros(10_345),
+            },
+            crate::WorkerSnapshot::default(),
+        ];
+        let doc = scheduling_json(&stats);
+        let parsed = parse_json(&doc).expect("scheduling document is valid JSON");
+        assert_eq!(
+            parsed.get("scheduler").and_then(Json::as_str),
+            Some("stealing")
+        );
+        assert_eq!(
+            parsed.get("reorder_high_water").and_then(Json::as_u64),
+            Some(3)
+        );
+        let prelude = parsed.get("prelude").expect("prelude object");
+        assert_eq!(prelude.get("references").and_then(Json::as_u64), Some(4));
+        assert_eq!(prelude.get("computed").and_then(Json::as_u64), Some(0));
+        assert_eq!(prelude.get("from_cache").and_then(Json::as_u64), Some(4));
+        let workers = parsed
+            .get("workers")
+            .and_then(Json::as_array)
+            .expect("workers array");
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].get("jobs").and_then(Json::as_u64), Some(5));
+        assert_eq!(workers[0].get("steals").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            workers[0].get("busy_us").and_then(Json::as_u64),
+            Some(10_345)
+        );
     }
 }

@@ -92,18 +92,20 @@ pub const RULES: &[RuleInfo] = &[
         id: THREAD_DISCIPLINE,
         summary: "thread creation only at the sanctioned spawn sites",
         detail: "thread::spawn, thread::scope and thread::Builder are banned outside \
-                 crates/sim/src/pool.rs (the deterministic worker pool) and \
+                 crates/sim/src/pool.rs and crates/sim/src/pool/queue.rs (the \
+                 deterministic worker pools, slot-pinned and work-stealing) and \
                  crates/server/src/serve.rs (the campaign server's accept/executor \
                  threads, which never touch simulated state directly).",
     },
     RuleInfo {
         id: RECOVERY_DISCIPLINE,
         summary: "unwind recovery only at the sanctioned isolation boundaries",
-        detail: "catch_unwind and resume_unwind are banned outside the worker pool \
-                 (crates/sim/src/pool.rs) and the campaign run-isolation boundary \
-                 (crates/campaign/src/executor.rs): scattered unwind recovery hides \
-                 real failures and corrupts half-stepped state. A deliberate boundary \
-                 elsewhere needs a justified allow.",
+        detail: "catch_unwind and resume_unwind are banned outside the worker pools \
+                 (crates/sim/src/pool.rs, crates/sim/src/pool/queue.rs) and the \
+                 campaign run-isolation boundary (crates/campaign/src/executor.rs): \
+                 scattered unwind recovery hides real failures and corrupts \
+                 half-stepped state. A deliberate boundary elsewhere needs a \
+                 justified allow.",
     },
     RuleInfo {
         id: HYGIENE,
@@ -128,15 +130,25 @@ const PARALLELISM_ALLOWLIST: &[&str] = &[
     "crates/campaign/src/executor.rs",
 ];
 
-/// The files allowed to create threads: the deterministic worker pool,
-/// and the campaign server's thread layer (acceptor, per-connection
-/// handlers, executor) — service plumbing that hands all simulation
-/// work to the pool-backed campaign executor.
-const THREAD_ALLOWLIST: &[&str] = &["crates/sim/src/pool.rs", "crates/server/src/serve.rs"];
+/// The files allowed to create threads: the deterministic worker pools
+/// (slot-pinned and work-stealing), and the campaign server's thread
+/// layer (acceptor, per-connection handlers, executor) — service
+/// plumbing that hands all simulation work to the pool-backed campaign
+/// executor. Allowlisting is by suffix, so the `pool/queue.rs` module
+/// must be named explicitly (it does not match `pool.rs`).
+const THREAD_ALLOWLIST: &[&str] = &[
+    "crates/sim/src/pool.rs",
+    "crates/sim/src/pool/queue.rs",
+    "crates/server/src/serve.rs",
+];
 
-/// Files allowed to catch or re-raise unwinds: the worker pool (worker
+/// Files allowed to catch or re-raise unwinds: the worker pools (worker
 /// death recovery) and the campaign executor (per-run isolation).
-const RECOVERY_ALLOWLIST: &[&str] = &["crates/sim/src/pool.rs", "crates/campaign/src/executor.rs"];
+const RECOVERY_ALLOWLIST: &[&str] = &[
+    "crates/sim/src/pool.rs",
+    "crates/sim/src/pool/queue.rs",
+    "crates/campaign/src/executor.rs",
+];
 
 /// Tokens banned inside alloc-free regions.
 const ALLOC_TOKENS: &[&str] = &[

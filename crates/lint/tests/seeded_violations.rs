@@ -183,6 +183,49 @@ fn thread_discipline_allows_serve_but_flags_the_rest_of_server() {
 }
 
 #[test]
+fn both_disciplines_allow_the_stealing_queue_but_flag_its_siblings() {
+    // The work-stealing pool lives in `src/pool/queue.rs` — a *nested*
+    // module whose path does not suffix-match `pool.rs`, so it is
+    // allowlisted by name. Its spawn + catch_unwind are clean; the same
+    // pair one module over (`src/subsystem.rs`) fires both rules.
+    let fixture = Fixture::new(
+        "stealing-queue",
+        "sim",
+        "pub mod pool;\npub mod subsystem;\n",
+    );
+    let src = fixture.root.join("crates/sim/src");
+    fs::create_dir_all(src.join("pool")).expect("create pool module dir");
+    fs::write(src.join("pool.rs"), "pub mod queue;\n").expect("write pool shim");
+    fs::write(
+        src.join("pool/queue.rs"),
+        "pub fn puller() -> bool {\n\
+         \x20   std::thread::spawn(|| std::panic::catch_unwind(|| {}).is_ok())\n\
+         \x20       .join()\n\
+         \x20       .unwrap_or(false)\n\
+         }\n",
+    )
+    .expect("write queue fixture");
+    fs::write(
+        src.join("subsystem.rs"),
+        "pub fn sneaky() -> bool {\n\
+         \x20   std::thread::spawn(|| std::panic::catch_unwind(|| {}).is_ok())\n\
+         \x20       .join()\n\
+         \x20       .unwrap_or(false)\n\
+         }\n",
+    )
+    .expect("write subsystem fixture");
+    let findings = fixture.findings();
+    assert_eq!(findings.len(), 2, "got: {findings:?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.file == "crates/sim/src/subsystem.rs" && f.line == 2));
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&THREAD_DISCIPLINE));
+    assert!(rules.contains(&RECOVERY_DISCIPLINE));
+    assert_ne!(fixture.binary_exit(), 0);
+}
+
+#[test]
 fn recovery_discipline_fixture_fires_once_outside_the_boundaries() {
     let fixture = Fixture::new(
         "recovery-discipline",

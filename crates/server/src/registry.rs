@@ -63,6 +63,9 @@ struct Progress {
     failed: usize,
     replayed: usize,
     error: Option<String>,
+    /// Prerendered scheduling JSON object ([`wire::scheduling_json`]),
+    /// recorded once execution finishes.
+    scheduling: Option<String>,
 }
 
 /// One campaign the server knows about.
@@ -92,6 +95,7 @@ impl CampaignState {
                 failed: 0,
                 replayed: 0,
                 error: None,
+                scheduling: None,
             }),
             wake: Condvar::new(),
         })
@@ -130,6 +134,13 @@ impl CampaignState {
         }
         drop(progress);
         self.wake.notify_all();
+    }
+
+    /// Records the campaign's scheduling document (the
+    /// [`wire::scheduling_json`] rendering of its `ExecutionStats`),
+    /// surfaced verbatim inside [`CampaignState::status_json`].
+    pub fn set_scheduling(&self, document: String) {
+        self.lock().scheduling = Some(document);
     }
 
     /// The current phase.
@@ -174,11 +185,13 @@ impl CampaignState {
             None => "null".to_owned(),
             Some(message) => format!("\"{}\"", wire::escape(message)),
         };
+        // The scheduling document is already JSON, so it embeds as-is.
+        let scheduling = progress.scheduling.as_deref().unwrap_or("null");
         format!(
             concat!(
                 "{{\"id\":\"{}\",\"name\":\"{}\",\"phase\":\"{}\",",
                 "\"total_runs\":{},\"completed\":{},\"failed\":{},",
-                "\"replayed\":{},\"error\":{}}}"
+                "\"replayed\":{},\"error\":{},\"scheduling\":{}}}"
             ),
             self.id,
             wire::escape(&self.spec.name),
@@ -188,6 +201,7 @@ impl CampaignState {
             progress.failed,
             progress.replayed,
             error,
+            scheduling,
         )
     }
 }
@@ -301,6 +315,12 @@ mod tests {
         assert!(status.contains("\"failed\":1"));
         assert!(status.contains("\"replayed\":1"));
         assert!(status.contains("\"error\":null"));
+        // No scheduling document until execution reports one.
+        assert!(status.contains("\"scheduling\":null"));
+        state.set_scheduling("{\"scheduler\":\"stealing\"}".to_owned());
+        assert!(state
+            .status_json()
+            .contains("\"scheduling\":{\"scheduler\":\"stealing\"}"));
         // A caught-up reader times out without new lines.
         let (lines, _) = state.wait_progress(3, Duration::from_millis(1));
         assert!(lines.is_empty());

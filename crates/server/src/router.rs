@@ -9,7 +9,7 @@
 //! | `POST /campaigns` | admit a spec: `201` (admitted), `200` (already known), `400` (refused), `503` + `Retry-After` (queue full / shutting down) |
 //! | `GET /campaigns/<id>` | status document |
 //! | `GET /campaigns/<id>/results` | chunked NDJSON stream, one record per finished run, live until the campaign is terminal |
-//! | `GET /campaigns/<id>/artifacts/<csv\|json\|stepping>` | final artifacts (404 until written) |
+//! | `GET /campaigns/<id>/artifacts/<csv\|json\|stepping\|scheduling>` | final artifacts (404 until written) |
 //!
 //! Admission is where the wire-format contract is enforced: the spec
 //! must parse under the strict [`campaign::wire`] rules, must survive
@@ -245,6 +245,7 @@ fn serve_artifact(shared: &Shared, state: &CampaignState, artifact: &str) -> Res
         "csv" => ("campaign.csv", "text/csv; charset=utf-8"),
         "json" => ("campaign.json", "application/json"),
         "stepping" => ("stepping.csv", "text/csv; charset=utf-8"),
+        "scheduling" => ("scheduling.csv", "text/csv; charset=utf-8"),
         other => return Response::text(404, format!("no artifact `{other}`\n")),
     };
     match std::fs::read(shared.campaign_dir(&state.id).join(file)) {

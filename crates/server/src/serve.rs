@@ -33,7 +33,7 @@ use crate::queue::JobQueue;
 use crate::registry::{CampaignState, Phase, Registry};
 use crate::router;
 use campaign::checkpoint::{fingerprint, read_journal};
-use campaign::{wire, ExecutionOptions, FailurePolicy};
+use campaign::{wire, ExecutionOptions, FailurePolicy, SchedulerMode};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -78,6 +78,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Largest admissible campaign, in expanded runs.
     pub max_runs: usize,
+    /// How pooled execution schedules runs onto workers (results are
+    /// scheduler-invariant; this trades latency only).
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +93,7 @@ impl Default for ServerConfig {
             // (acceptor + executor); the rest simulate.
             workers: sim::service_pool_size(2),
             max_runs: 100_000,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -324,6 +328,7 @@ fn run_campaign(shared: &Shared, state: &Arc<CampaignState>) {
     let options = ExecutionOptions {
         policy: FailurePolicy::Quarantine,
         journal: Some(dir.join("campaign.journal")),
+        scheduler: shared.config.scheduler,
     };
     let runs = state.spec.expand();
     let result = campaign::execute_observed(
@@ -340,8 +345,10 @@ fn run_campaign(shared: &Shared, state: &Arc<CampaignState>) {
             return;
         }
     };
+    state.set_scheduling(wire::scheduling_json(&report.scheduling));
     let artifacts = [
         ("stepping.csv", report.stepping_csv()),
+        ("scheduling.csv", report.scheduling_csv()),
         ("campaign.csv", report.summary.to_csv()),
         ("campaign.json", report.summary.to_json()),
     ];

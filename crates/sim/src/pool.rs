@@ -26,6 +26,14 @@
 //! fixed order observes output identical to sequential execution no matter
 //! how long each worker actually takes.
 //!
+//! Two dispatch disciplines share this module. The slot-pinned
+//! [`WorkerPool`] here pushes jobs round-robin to fixed slots — ideal
+//! when items are uniform (shard stepping). The pull-based
+//! [`queue::StealingPool`] hands jobs out through a shared injector
+//! queue and returns completions out of order, tagged with their
+//! sequence numbers — ideal when job durations are wildly skewed
+//! (campaign runs) and a pinned slot would head-of-line-block.
+//!
 //! # Fault tolerance
 //!
 //! A worker thread dies when its work function panics. Callers choose how
@@ -42,6 +50,8 @@
 //!   panicking). A caller that keeps its own copies of dispatched work —
 //!   the campaign executor clones each `RunSpec` it hands out — can
 //!   resubmit and carry on instead of unwinding the whole campaign.
+
+pub mod queue;
 
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -252,8 +262,8 @@ fn spawn_worker<C: Send + 'static, T: Send + 'static, R: Send + 'static>(
 }
 
 /// Best-effort rendering of a panic payload (panics carry `&str` or
-/// `String` in practice).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// `String` in practice). Shared with the pull-based [`queue`] pool.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

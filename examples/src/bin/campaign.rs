@@ -15,7 +15,8 @@
 //!
 //! ```text
 //! cargo run --release -p examples-bin --bin campaign -- \
-//!     [smoke|quick|standard] [workers N] [out DIR] [journal] [abort-after N]
+//!     [smoke|quick|standard] [workers N] [out DIR] [journal] [abort-after N] \
+//!     [scheduler stealing|pinned]
 //! ```
 //!
 //! `smoke` is the 8-run CI configuration; `quick` (default) is a
@@ -30,10 +31,15 @@
 //! the N-th journal append (requires building with `--features
 //! fault-injection`); CI uses the pair to prove the kill/resume
 //! round-trip.
+//!
+//! `scheduler` picks the pooled dispatch discipline (work-stealing by
+//! default). Passing it explicitly in plain mode also makes the *pooled*
+//! report the one persisted to `DIR`, which is how CI byte-compares a
+//! stealing run's artifacts against the sequential reference.
 
 use campaign::{
     execute, execute_resumable, parse_summary_csv, record_run_traces, write_atomic, CampaignReport,
-    CampaignSpec, ExecutionOptions, TraceFormat,
+    CampaignSpec, ExecutionOptions, SchedulerMode, TraceFormat,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,6 +68,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("target/campaign");
     let mut journal = false;
     let mut abort_after: Option<u64> = None;
+    let mut scheduler: Option<SchedulerMode> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -88,10 +95,14 @@ fn main() -> ExitCode {
                 Some(n) => abort_after = Some(n),
                 None => return fail("abort-after needs an integer argument"),
             },
+            "scheduler" => match iter.next().and_then(|v| SchedulerMode::parse(v)) {
+                Some(mode) => scheduler = Some(mode),
+                None => return fail("scheduler needs `stealing` or `pinned`"),
+            },
             other => {
                 return fail(format!(
                     "unknown argument `{other}` (expected smoke|quick|standard, workers N, \
-                     out DIR, journal, abort-after N)"
+                     out DIR, journal, abort-after N, scheduler stealing|pinned)"
                 ))
             }
         }
@@ -153,6 +164,7 @@ fn main() -> ExitCode {
         }
         let options = ExecutionOptions {
             journal: Some(out_dir.join("campaign.journal")),
+            scheduler: scheduler.unwrap_or_default(),
             ..Default::default()
         };
         let resumed = match execute_resumable(&spec, replayable, workers, &options) {
@@ -160,9 +172,12 @@ fn main() -> ExitCode {
             Err(e) => return fail(e),
         };
         println!(
-            "journaled ({workers} workers): {} runs ({} replayed from journal) in {:.2?} ({})",
+            "journaled ({workers} workers, {} scheduler): {} runs ({} replayed from journal, \
+             {} references from prelude cache) in {:.2?} ({})",
+            resumed.scheduling.scheduler,
             resumed.outcomes.len(),
             resumed.replayed,
+            resumed.scheduling.prelude.from_cache,
             resumed.wall,
             rate(&resumed)
         );
@@ -178,12 +193,17 @@ fn main() -> ExitCode {
             sequential.wall,
             rate(&sequential)
         );
-        let pooled = match execute(&spec, replayable, workers) {
+        let options = ExecutionOptions {
+            scheduler: scheduler.unwrap_or_default(),
+            ..Default::default()
+        };
+        let pooled = match execute_resumable(&spec, replayable, workers, &options) {
             Ok(report) => report,
             Err(e) => return fail(e),
         };
         println!(
-            "pooled ({workers} workers): {} runs in {:.2?} ({})",
+            "pooled ({workers} workers, {} scheduler): {} runs in {:.2?} ({})",
+            pooled.scheduling.scheduler,
             pooled.outcomes.len(),
             pooled.wall,
             rate(&pooled)
@@ -194,7 +214,13 @@ fn main() -> ExitCode {
             return fail("pooled execution emitted different CSV than sequential");
         }
         println!("pooled CSV is byte-identical to sequential");
-        sequential
+        // An explicit scheduler request persists the *pooled* artifacts,
+        // so CI can byte-compare them against a sequential reference run.
+        if scheduler.is_some() {
+            pooled
+        } else {
+            sequential
+        }
     };
 
     // Phase 4: persist (atomically — a killed campaign must never leave a
@@ -212,6 +238,11 @@ fn main() -> ExitCode {
     // pinned byte-identical across advance modes, these counters are not.
     let stepping_path = out_dir.join("stepping.csv");
     if let Err(e) = write_atomic(&stepping_path, report.stepping_csv()) {
+        return fail(e);
+    }
+    // Scheduler accounting likewise: worker tallies and the reorder-buffer
+    // high-water mark depend on wall-clock interleaving, not results.
+    if let Err(e) = write_atomic(&out_dir.join("scheduling.csv"), report.scheduling_csv()) {
         return fail(e);
     }
     if !report.failures.is_empty() {

@@ -11,6 +11,7 @@
 //!
 //! ```text
 //! serve_harness data DIR [queue N] [workers N] [abort-after N]
+//!               [stall-after N] [scheduler stealing|pinned]
 //! ```
 
 use campaign::faults::{arm, FaultPlan};
@@ -40,14 +41,22 @@ fn main() -> ExitCode {
                 Some(dir) => data_dir = Some(PathBuf::from(dir)),
                 None => return fail("data needs a directory argument"),
             },
-            name @ ("queue" | "workers" | "abort-after") => {
+            "scheduler" => {
+                let mode = iter.next().and_then(|v| campaign::SchedulerMode::parse(v));
+                match mode {
+                    Some(mode) => config.scheduler = mode,
+                    None => return fail("scheduler needs `stealing` or `pinned`"),
+                }
+            }
+            name @ ("queue" | "workers" | "abort-after" | "stall-after") => {
                 let Some(n) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
                     return fail(format!("{name} needs an integer argument"));
                 };
                 match name {
                     "queue" => config.queue_capacity = n as usize,
                     "workers" => config.workers = n as usize,
-                    _ => plan.abort_after_journal_records = Some(n),
+                    "abort-after" => plan.abort_after_journal_records = Some(n),
+                    _ => plan.stall_after_journal_records = Some(n),
                 }
             }
             other => return fail(format!("unknown argument `{other}`")),
@@ -57,7 +66,7 @@ fn main() -> ExitCode {
         return fail("data DIR is required");
     };
     config.data_dir = data_dir.clone();
-    if plan.abort_after_journal_records.is_some() {
+    if plan.abort_after_journal_records.is_some() || plan.stall_after_journal_records.is_some() {
         arm(plan);
     }
     let server = match Server::start(config) {

@@ -1,10 +1,31 @@
 //! Campaign determinism pins: the same `CampaignSpec` + seed produces
 //! identical run lists and identical aggregated output under sequential
-//! and pooled execution, across worker counts, and whether runs execute
-//! from generators or from recorded trace files.
+//! and pooled execution, across worker counts and scheduler modes, and
+//! whether runs execute from generators or from recorded trace files.
+//!
+//! The heart of the suite is byte-identity: sequential, slot-pinned and
+//! work-stealing execution must emit the same `campaign.csv`,
+//! `campaign.json`, checkpoint-journal bytes and NDJSON record lines —
+//! including under random failure policies and injected panics
+//! (`schedulers_agree_under_random_specs_policies_and_panics`).
 
-use campaign::{execute, record_run_traces, CampaignSpec, TraceFormat};
+use campaign::faults::{arm, disarm, FaultPlan};
+use campaign::{
+    execute, execute_observed, prelude_cache_path, record_run_traces, wire, CampaignSpec,
+    ExecutionOptions, FailurePolicy, SchedulerMode, TraceFormat,
+};
+use proptest::prelude::*;
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Fault plans are armed process-wide, so every test in this binary that
+/// executes campaigns serializes on this lock — otherwise a concurrent
+/// test could absorb another test's injected panic.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn fault_serial() -> MutexGuard<'static, ()> {
+    FAULTS.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A campaign small enough for the test suite but still covering both
 /// scenarios, two defenses and every aggregation path.
@@ -19,8 +40,76 @@ fn tiny_campaign() -> CampaignSpec {
     campaign
 }
 
+/// A much smaller campaign for the property test, which executes two
+/// whole campaigns per sampled case.
+fn micro_campaign(scenarios: usize, defenses: usize) -> CampaignSpec {
+    let mut campaign = CampaignSpec::smoke();
+    campaign.name = "determinism-micro".to_owned();
+    campaign.mix_count = 1;
+    campaign.threads_per_mix = 2;
+    campaign.scenarios.truncate(scenarios.max(1));
+    campaign.defenses.truncate(defenses.max(1));
+    campaign.scale.benign_instructions = 300;
+    campaign.scale.min_cycles = 10_000;
+    campaign
+}
+
 fn scratch_dir(label: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(label)
+}
+
+/// Everything one journaled execution leaves behind, for byte-comparison
+/// across scheduler modes.
+#[derive(Debug, PartialEq)]
+struct ModeArtifacts {
+    csv: String,
+    json: String,
+    journal: Vec<u8>,
+    ndjson: Vec<String>,
+    error: Option<String>,
+}
+
+/// Runs `spec` with a journal under `label`'s scratch dir and captures
+/// every comparable artifact. Campaign-level errors (e.g. a
+/// `FailurePolicy::Abort` hitting an injected panic) are captured as
+/// data: the journaled prefix and streamed lines must still match.
+fn run_mode(
+    spec: &CampaignSpec,
+    workers: usize,
+    scheduler: SchedulerMode,
+    policy: FailurePolicy,
+    label: &str,
+) -> ModeArtifacts {
+    let dir = scratch_dir(label);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let journal = dir.join("campaign.journal");
+    let options = ExecutionOptions {
+        policy,
+        journal: Some(journal.clone()),
+        scheduler,
+    };
+    let mut ndjson = Vec::new();
+    let result = execute_observed(spec, spec.expand(), workers, &options, &mut |entry, _| {
+        ndjson.push(wire::entry_to_ndjson(entry))
+    });
+    let journal_bytes = std::fs::read(&journal).expect("journal exists");
+    match result {
+        Ok(report) => ModeArtifacts {
+            csv: report.summary.to_csv(),
+            json: report.summary.to_json(),
+            journal: journal_bytes,
+            ndjson,
+            error: None,
+        },
+        Err(error) => ModeArtifacts {
+            csv: String::new(),
+            json: String::new(),
+            journal: journal_bytes,
+            ndjson,
+            error: Some(error.to_string()),
+        },
+    }
 }
 
 #[test]
@@ -32,10 +121,12 @@ fn expansion_is_reproducible() {
 
 #[test]
 fn worker_counts_emit_byte_identical_output() {
+    let _serial = fault_serial();
     let campaign = tiny_campaign();
     let sequential = execute(&campaign, campaign.expand(), 0).expect("sequential runs");
     let csv = sequential.summary.to_csv();
     let json = sequential.summary.to_json();
+    assert_eq!(sequential.scheduling.scheduler, "sequential");
     for workers in [1, 2, 4] {
         let pooled = execute(&campaign, campaign.expand(), workers).expect("pooled runs");
         // Outcomes stream back in run order regardless of completion
@@ -61,7 +152,109 @@ fn worker_counts_emit_byte_identical_output() {
 }
 
 #[test]
+fn scheduler_modes_emit_byte_identical_artifacts_and_journals() {
+    let _serial = fault_serial();
+    let campaign = tiny_campaign();
+    let reference = run_mode(
+        &campaign,
+        0,
+        SchedulerMode::default(),
+        FailurePolicy::Quarantine,
+        "sched-sequential",
+    );
+    assert!(reference.error.is_none());
+    for (workers, scheduler, label) in [
+        (2, SchedulerMode::SlotPinned, "sched-pinned-2"),
+        (2, SchedulerMode::Stealing, "sched-stealing-2"),
+        (4, SchedulerMode::Stealing, "sched-stealing-4"),
+    ] {
+        let mode = run_mode(
+            &campaign,
+            workers,
+            scheduler,
+            FailurePolicy::Quarantine,
+            label,
+        );
+        assert_eq!(mode, reference, "{label} diverged from sequential");
+    }
+}
+
+#[test]
+fn stealing_stats_account_for_every_run() {
+    let _serial = fault_serial();
+    let campaign = tiny_campaign();
+    let options = ExecutionOptions {
+        scheduler: SchedulerMode::Stealing,
+        ..ExecutionOptions::default()
+    };
+    let report = execute_observed(&campaign, campaign.expand(), 2, &options, &mut |_, _| {})
+        .expect("stealing runs");
+    let stats = &report.scheduling;
+    assert_eq!(stats.scheduler, "stealing");
+    assert_eq!(stats.workers.len(), 2);
+    let jobs: u64 = stats.workers.iter().map(|w| w.jobs).sum();
+    assert_eq!(jobs as usize, campaign.run_count(), "every run is tallied");
+    // The reorder buffer admits each completion before releasing it, so
+    // even perfectly in-order completion peaks at 1.
+    assert!(stats.reorder_high_water >= 1);
+    assert!(stats.reorder_high_water <= campaign.run_count());
+    // No journal was configured, so no prelude cache: every reference
+    // was computed by this invocation.
+    assert!(stats.prelude.references > 0);
+    assert_eq!(stats.prelude.computed, stats.prelude.references);
+    assert_eq!(stats.prelude.from_cache, 0);
+}
+
+#[test]
+fn prelude_cache_is_reused_exactly_when_present() {
+    let _serial = fault_serial();
+    let campaign = tiny_campaign();
+    let dir = scratch_dir("prelude-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let journal = dir.join("campaign.journal");
+    let cache = prelude_cache_path(&journal);
+    let options = ExecutionOptions {
+        journal: Some(journal.clone()),
+        scheduler: SchedulerMode::Stealing,
+        ..ExecutionOptions::default()
+    };
+    let run = || {
+        execute_observed(&campaign, campaign.expand(), 2, &options, &mut |_, _| {})
+            .expect("campaign runs")
+    };
+
+    // Cold: every reference simulated, and the cache written to disk.
+    let cold = run();
+    let references = cold.scheduling.prelude.references;
+    assert!(references > 0);
+    assert_eq!(cold.scheduling.prelude.computed, references);
+    assert_eq!(cold.scheduling.prelude.from_cache, 0);
+    assert!(cache.is_file(), "prelude cache written next to the journal");
+
+    // Warm: journal deleted (so every run re-executes) but cache kept —
+    // the whole prelude is served from disk.
+    std::fs::remove_file(&journal).expect("delete journal");
+    let warm = run();
+    assert_eq!(warm.scheduling.prelude.from_cache, references);
+    assert_eq!(warm.scheduling.prelude.computed, 0);
+
+    // Cold again: deleting the cache too forces recomputation.
+    std::fs::remove_file(&journal).expect("delete journal");
+    std::fs::remove_file(&cache).expect("delete cache");
+    let recomputed = run();
+    assert_eq!(recomputed.scheduling.prelude.computed, references);
+    assert_eq!(recomputed.scheduling.prelude.from_cache, 0);
+
+    // Cache state must never change results.
+    assert_eq!(warm.summary.to_csv(), cold.summary.to_csv());
+    assert_eq!(warm.summary.to_json(), cold.summary.to_json());
+    assert_eq!(recomputed.summary.to_csv(), cold.summary.to_csv());
+}
+
+#[test]
 fn trace_replay_matches_generator_execution() {
+    let _serial = fault_serial();
     let campaign = tiny_campaign();
     let generated = execute(&campaign, campaign.expand(), 0).expect("generator runs");
     for format in [TraceFormat::Binary, TraceFormat::Text] {
@@ -90,6 +283,7 @@ fn trace_replay_matches_generator_execution() {
 
 #[test]
 fn attack_sweep_points_reflect_the_defense() {
+    let _serial = fault_serial();
     // Sanity on the aggregate itself: in the attack scenario BlockHammer
     // must beat the baseline's benign throughput and report attacker
     // RHLI, with benign RHLI at zero.
@@ -116,4 +310,63 @@ fn attack_sweep_points_reflect_the_defense() {
     assert_eq!(blockhammer.max_benign_rhli, 0.0);
     let normalized = blockhammer.normalized.expect("normalized metrics");
     assert!(normalized.weighted_speedup > 1.0);
+}
+
+proptest! {
+    /// Work-stealing execution is byte-identical to sequential under
+    /// random campaign shapes, failure policies, worker counts and
+    /// injected panics — including `Abort`'s error and journaled prefix,
+    /// which depend on the reorder buffer applying the policy at
+    /// release time.
+    #[test]
+    fn schedulers_agree_under_random_specs_policies_and_panics(
+        scenarios in 1u64..3,
+        defenses in 1u64..3,
+        policy_pick in 0u64..3,
+        panic_pick in 0u64..8,
+        workers_pick in 0u64..2,
+    ) {
+        let _serial = fault_serial();
+        let campaign = micro_campaign(scenarios as usize, defenses as usize);
+        let total = campaign.run_count();
+        let policy = match policy_pick {
+            0 => FailurePolicy::Quarantine,
+            1 => FailurePolicy::Retry { max_attempts: 2 },
+            _ => FailurePolicy::Abort,
+        };
+        // Even picks inject nothing; odd picks panic a run, transiently
+        // (one attempt — a retry succeeds) or permanently by parity.
+        let plan = if panic_pick % 2 == 1 {
+            FaultPlan {
+                panic_on_run: Some((
+                    (panic_pick as usize / 2) % total,
+                    if panic_pick >= 4 { u32::MAX } else { 1 },
+                )),
+                ..FaultPlan::default()
+            }
+        } else {
+            FaultPlan::default()
+        };
+        let workers = [2usize, 4][workers_pick as usize];
+
+        arm(plan.clone());
+        let sequential = run_mode(
+            &campaign,
+            0,
+            SchedulerMode::default(),
+            policy,
+            "prop-sequential",
+        );
+        // Re-arm to reset the injection counters for the second pass.
+        arm(plan);
+        let stealing = run_mode(
+            &campaign,
+            workers,
+            SchedulerMode::Stealing,
+            policy,
+            "prop-stealing",
+        );
+        disarm();
+        prop_assert_eq!(stealing, sequential);
+    }
 }

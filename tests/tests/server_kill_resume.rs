@@ -26,10 +26,20 @@ fn scratch(label: &str) -> PathBuf {
 
 /// Spawns `serve_harness` on `data` and waits for its address file.
 fn start_harness(data: &Path, abort_after: Option<u64>) -> (Child, String) {
+    start_harness_with(data, abort_after, &[])
+}
+
+/// [`start_harness`] with additional harness arguments (scheduler,
+/// worker count, stall-after) appended verbatim.
+fn start_harness_with(data: &Path, abort_after: Option<u64>, extra: &[&str]) -> (Child, String) {
     // A previous server's address file would race the new one's.
     let _ = std::fs::remove_file(data.join("addr"));
     let mut command = Command::new(env!("CARGO_BIN_EXE_serve_harness"));
-    command.args(["data", &data.display().to_string(), "workers", "0"]);
+    command.args(["data", &data.display().to_string()]);
+    if !extra.contains(&"workers") {
+        command.args(["workers", "0"]);
+    }
+    command.args(extra);
     if let Some(n) = abort_after {
         command.args(["abort-after", &n.to_string()]);
     }
@@ -157,4 +167,137 @@ fn sigkilled_server_resumes_campaign_with_byte_identical_results() {
     assert_eq!(replayed, expected_lines);
     third.kill().expect("kill the third server");
     third.wait().expect("reap the third server");
+}
+
+#[test]
+fn sigkilled_stealing_server_resumes_with_a_warm_prelude_cache() {
+    // Same recovery story, but with the pull-based scheduler doing the
+    // executing and a *real* SIGKILL (the injector stalls the executor
+    // at a deterministic journal state so the kill lands predictably).
+    // The resumed campaign must also skip its normalization prelude via
+    // the on-disk cache the first server left behind.
+    let mut spec = serve_campaign();
+    spec.name = "serve-kill-stealing".to_owned();
+    let id = format!("{:016x}", fingerprint(&spec));
+    let total = spec.run_count();
+
+    let mut expected_lines = Vec::new();
+    let report = execute_observed(
+        &spec,
+        spec.expand(),
+        0,
+        &ExecutionOptions::default(),
+        &mut |entry, _| expected_lines.push(wire::entry_to_ndjson(entry)),
+    )
+    .expect("reference executes");
+
+    let data = scratch("serve-kill-stealing");
+    let stealing_args = ["workers", "2", "scheduler", "stealing"];
+    let mut stalled_args = vec!["stall-after", "2"];
+    stalled_args.extend_from_slice(&stealing_args);
+    let (mut doomed, addr) = start_harness_with(&data, None, &stalled_args);
+    let body = wire::spec_to_json(&spec);
+    let response =
+        client::request(&addr, "POST", "/campaigns", &[], body.as_bytes()).expect("submit");
+    assert_eq!(response.status, 201, "{}", response.utf8().unwrap_or(""));
+
+    // Wait until exactly 2 runs are journaled (the executor then stalls
+    // forever) and the prelude cache is on disk, then deliver the kill.
+    let journal = data.join(&id).join("campaign.journal");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let journaled =
+            campaign::checkpoint::read_journal(&journal, fingerprint(&spec), total as u64)
+                .map(|scan| scan.entries.len())
+                .unwrap_or(0);
+        if journaled == 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the stalled server never journaled 2 records (got {journaled})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        data.join(&id).join("campaign.prelude").is_file(),
+        "the first server must leave its prelude cache behind"
+    );
+    doomed.kill().expect("SIGKILL the stalled server");
+    doomed.wait().expect("reap the killed server");
+
+    // The survivor resumes with the same stealing scheduler, replays the
+    // 2 journaled runs, serves the prelude from the cache, and streams
+    // bytes identical to the uninterrupted sequential reference.
+    let (mut survivor, addr) = start_harness_with(&data, None, &stealing_args);
+    let mut streamed = Vec::new();
+    let status = client::stream(&addr, &format!("/campaigns/{id}/results"), &mut |line| {
+        streamed.push(line.to_owned());
+        Ok(())
+    })
+    .expect("stream resumed results");
+    assert_eq!(status, 200);
+    assert_eq!(streamed, expected_lines);
+
+    let response = client::request(&addr, "GET", &format!("/campaigns/{id}"), &[], &[])
+        .expect("status request");
+    let status_doc = response.utf8().unwrap();
+    assert!(
+        status_doc.contains("\"phase\":\"done\""),
+        "got: {status_doc}"
+    );
+    assert!(status_doc.contains("\"replayed\":2"), "got: {status_doc}");
+    assert!(
+        status_doc.contains("\"scheduler\":\"stealing\""),
+        "got: {status_doc}"
+    );
+    // The warm cache means this invocation simulated no references.
+    assert!(status_doc.contains("\"computed\":0"), "got: {status_doc}");
+    assert!(
+        !status_doc.contains("\"from_cache\":0"),
+        "the resumed prelude must come from the cache: {status_doc}"
+    );
+
+    for (artifact, expected) in [
+        ("csv", report.summary.to_csv()),
+        ("json", report.summary.to_json()),
+    ] {
+        let response = client::request(
+            &addr,
+            "GET",
+            &format!("/campaigns/{id}/artifacts/{artifact}"),
+            &[],
+            &[],
+        )
+        .expect("artifact request");
+        assert_eq!(response.status, 200, "artifact {artifact}");
+        assert_eq!(
+            response.utf8().unwrap(),
+            expected,
+            "artifact {artifact} diverged from the uninterrupted run"
+        );
+    }
+    // The scheduling artifact is not byte-compared (its counters are
+    // wall-clock- and worker-dependent) but must exist and name the
+    // scheduler and the cache-served prelude.
+    let response = client::request(
+        &addr,
+        "GET",
+        &format!("/campaigns/{id}/artifacts/scheduling"),
+        &[],
+        &[],
+    )
+    .expect("scheduling artifact request");
+    assert_eq!(response.status, 200);
+    let scheduling = response.utf8().unwrap();
+    assert!(
+        scheduling.contains("scheduler,stealing"),
+        "got: {scheduling}"
+    );
+    assert!(
+        scheduling.contains("prelude_computed,0"),
+        "got: {scheduling}"
+    );
+    survivor.kill().expect("kill the survivor");
+    survivor.wait().expect("reap the survivor");
 }
